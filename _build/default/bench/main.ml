@@ -1,0 +1,162 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Tables 1, 3, 4; Figures 1, 5, 6, 7, 8, 9, 10, 11, 12) plus the
+   ablation sweeps, printing measured-vs-paper columns.  Part 2 runs
+   Bechamel microbenchmarks — one Test.make per allocator hot path — of
+   the implementations themselves (host wall-clock time of malloc/free in
+   the simulated heap, observers detached).
+
+   Environment knobs:
+     BENCH_SCALE   transaction scale (default 0.15; the paper-fidelity
+                   reporting scale is 0.25, see EXPERIMENTS.md)
+     BENCH_ONLY    comma-separated experiment ids (default: all)
+     BENCH_SKIP_MICRO / BENCH_SKIP_EXPERIMENTS  set to skip a part *)
+
+let getenv_default name default =
+  match Sys.getenv_opt name with
+  | Some v when String.trim v <> "" -> v
+  | Some _ | None -> default
+
+let scale = float_of_string (getenv_default "BENCH_SCALE" "0.15")
+
+let only =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | None -> None
+  | Some s -> Some (String.split_on_char ',' (String.trim s))
+
+(* --- Part 1: the paper's tables and figures --- *)
+
+let run_experiments () =
+  Printf.printf
+    "=== Reproduction of the paper's evaluation (transaction scale %.2f) ===\n\n%!"
+    scale;
+  let ctx = Mm_experiments.Context.create ~scale () in
+  List.iter
+    (fun e ->
+      let selected =
+        match only with
+        | None -> true
+        | Some ids -> List.mem e.Mm_experiments.Registry.id ids
+      in
+      if selected then begin
+        let t0 = Unix.gettimeofday () in
+        Printf.printf "### %s — %s\n\n%!" e.Mm_experiments.Registry.id
+          e.Mm_experiments.Registry.title;
+        e.Mm_experiments.Registry.run ctx;
+        Printf.printf "  [%s: %.1f s]\n\n%!" e.Mm_experiments.Registry.id
+          (Unix.gettimeofday () -. t0)
+      end)
+    Mm_experiments.Registry.all
+
+(* --- Part 2: Bechamel microbenchmarks of the allocators themselves --- *)
+
+let make_heap kind =
+  let mem = Mm_memsim.Memory.create () in
+  let os = Mm_memsim.Os_layer.create mem in
+  Mm_runtime.Alloc_factory.create kind ~os ~mem ~pid:0
+
+(* A malloc/free churn loop: allocate into a ring of 256 slots, freeing
+   the previous occupant — the steady-state hot path of a transaction. *)
+let churn kind =
+  let h = make_heap kind in
+  let module A = Core.Allocator in
+  let slots = Array.make 256 0 in
+  let cursor = ref 0 in
+  let sizes = [| 16; 24; 32; 48; 64; 96; 128; 200; 320; 512 |] in
+  let tick = ref 0 in
+  let free_supported = h.A.h_caps.A.per_object_free in
+  fun () ->
+    let i = !cursor in
+    if slots.(i) <> 0 then
+      if free_supported then h.A.h_free ~addr:slots.(i)
+      else if h.A.h_caps.A.bulk_free && i = 0 then begin
+        Array.fill slots 0 256 0;
+        h.A.h_free_all ()
+      end;
+    incr tick;
+    slots.(i) <- h.A.h_malloc ~size:sizes.(!tick land 7);
+    cursor := (i + 1) land 255
+
+let malloc_free_tests =
+  List.map
+    (fun kind ->
+      Bechamel.Test.make
+        ~name:(Mm_runtime.Alloc_factory.kind_name kind)
+        (Bechamel.Staged.stage (churn kind)))
+    Mm_runtime.Alloc_factory.all_kinds
+
+let free_all_tests =
+  List.filter_map
+    (fun kind ->
+      let h = make_heap kind in
+      let module A = Core.Allocator in
+      if not h.A.h_caps.A.bulk_free then None
+      else
+        Some
+          (Bechamel.Test.make
+             ~name:(Mm_runtime.Alloc_factory.kind_name kind)
+             (Bechamel.Staged.stage (fun () ->
+                  for _ = 1 to 64 do
+                    ignore (h.A.h_malloc ~size:64)
+                  done;
+                  h.A.h_free_all ()))))
+    Mm_runtime.Alloc_factory.all_kinds
+
+let cache_access_test =
+  let mem = Mm_memsim.Memory.create () in
+  let cs =
+    Mm_cachesim.Cache_system.create ~machine:Mm_cachesim.Machine.xeon
+      ~active_cores:8 ~large_page_heap:false
+  in
+  Mm_cachesim.Cache_system.attach cs mem;
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"cache-system access"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         Mm_memsim.Memory.touch mem ~kind:Mm_memsim.Access.Load
+           ~addr:((1 lsl 32) + (!i * 64 land 0xFFFFF))
+           ~bytes:8))
+
+let run_micro () =
+  print_endline "=== Microbenchmarks (host ns per operation) ===\n";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let run_group title tests =
+    let grouped = Test.make_grouped ~name:title tests in
+    let raw = Benchmark.all cfg instances grouped in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let table =
+      Mm_stats.Table.create ~title
+        ~columns:[ ("benchmark", Mm_stats.Table.Left); ("ns/op", Mm_stats.Table.Right) ]
+    in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols_result ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (v :: _) -> Printf.sprintf "%.1f" v
+          | Some [] | None -> "-"
+        in
+        rows := (name, ns) :: !rows)
+      results;
+    List.iter
+      (fun (name, ns) -> Mm_stats.Table.add_row table [ name; ns ])
+      (List.sort compare !rows);
+    Mm_stats.Table.print table
+  in
+  run_group "malloc/free churn (ring of 256 live objects)" malloc_free_tests;
+  run_group "64 mallocs + freeAll (transaction epilogue)" free_all_tests;
+  run_group "memory-hierarchy simulator" [ cache_access_test ]
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  if Sys.getenv_opt "BENCH_SKIP_EXPERIMENTS" = None then run_experiments ();
+  if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then run_micro ();
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/mmstudy.ml: Cmdliner List Mm_cachesim Mm_experiments Mm_runtime Mm_stats Mm_workload Printf

@@ -1,0 +1,1 @@
+bin/mmstudy.mli:

@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array List Mm_cachesim Mm_runtime Mm_workload Option Printf Stdlib Sys

@@ -1,0 +1,1 @@
+bin/inspect.ml: Array List Mm_cachesim Mm_runtime Mm_workload Option Printf Sys

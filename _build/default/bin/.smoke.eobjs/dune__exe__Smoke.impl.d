@@ -1,0 +1,1 @@
+bin/smoke.ml: Array List Mm_cachesim Mm_runtime Mm_stats Mm_workload Printf Sys Unix

@@ -1,0 +1,31 @@
+(* Dev tool: per-allocator event profile for one workload/machine/cores. *)
+module E = Mm_runtime.Engine
+module F = Mm_runtime.Alloc_factory
+module M = Mm_cachesim.Machine
+module P = Mm_cachesim.Perf_model
+module Ev = Mm_cachesim.Events
+
+let () =
+  let name = Sys.argv.(1) in
+  let cores = int_of_string Sys.argv.(2) in
+  let scale = try float_of_string Sys.argv.(3) with _ -> 0.25 in
+  let app_instr = try Some (int_of_string Sys.argv.(4)) with _ -> None in
+  let spec = Option.get (Mm_workload.Spec.by_name name) in
+  let spec = match app_instr with
+    | Some a -> { spec with Mm_workload.Spec.app_instr_per_op = a }
+    | None -> spec in
+  List.iter (fun machine ->
+    List.iter (fun kind ->
+      let large_page_heap = machine.M.name = "niagara" in
+      let cfg = E.config ~machine ~active_cores:cores ~kind ~spec ~scale ~large_page_heap () in
+      let m = E.run cfg in
+      let p = m.E.perf in
+      let e c = E.event_per_txn m c /. scale in
+      Printf.printf "%-8s %-12s thr=%8.1f rho=%.2f lat=%5.0f | instr=%10.0f l1d=%9.0f l1i=%8.0f l2=%8.0f tlb=%8.0f fill=%8.0f wb=%8.0f pf=%8.0f pfl=%8.0f | mgmt%%=%4.1f\n%!"
+        machine.M.name (F.kind_name kind) m.E.throughput
+        p.P.bus_utilization p.P.mem_latency_eff
+        (e Ev.Instructions) (e Ev.L1d_miss) (e Ev.L1i_miss) (e Ev.L2_miss)
+        (e Ev.Dtlb_miss) (e Ev.Bus_fill) (e Ev.Bus_writeback) (e Ev.Bus_prefetch) (e Ev.Pf_late)
+        (100.0 *. p.P.breakdown.P.mgmt_cycles /. p.P.cycles_per_txn))
+      [ F.Php_default; F.Region; F.Dd None ])
+    [ M.xeon ]

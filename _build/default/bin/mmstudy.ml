@@ -1,0 +1,148 @@
+(* mmstudy — command-line driver for the reproduction study.
+
+   Subcommands: list what can be run, run one experiment or all of them,
+   and run a single simulation configuration with a detailed profile. *)
+
+let ctx_of ~scale ~seed = Mm_experiments.Context.create ~scale ~seed ()
+
+let scale_arg =
+  let doc =
+    "Transaction scale: fraction of Table 3's per-transaction call counts \
+     to simulate (results are reported at full-transaction equivalents)."
+  in
+  Cmdliner.Arg.(value & opt float 0.25 & info [ "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (every run is deterministic given the seed)." in
+  Cmdliner.Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let list_cmd =
+  let run () =
+    print_endline "Experiments (ids for `mmstudy run`):";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-9s %s\n" e.Mm_experiments.Registry.id
+          e.Mm_experiments.Registry.title)
+      Mm_experiments.Registry.all;
+    print_endline "\nWorkloads:";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-14s %s (%d mallocs/txn, mean %.1f B)\n"
+          s.Mm_workload.Spec.name s.Mm_workload.Spec.paper_name
+          s.Mm_workload.Spec.mallocs s.Mm_workload.Spec.mean_size)
+      (Mm_workload.Spec.php_apps @ [ Mm_workload.Spec.rails ]);
+    print_endline "\nAllocators:";
+    List.iter
+      (fun k ->
+        Printf.printf "  %s\n" (Mm_runtime.Alloc_factory.kind_name k))
+      Mm_runtime.Alloc_factory.all_kinds;
+    print_endline "\nMachines: xeon (2x quad-core Clovertown), niagara (UltraSPARC T1)"
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "list" ~doc:"List experiments, workloads, allocators.")
+    Cmdliner.Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    let doc = "Experiment id (see `mmstudy list`), or `all`." in
+    Cmdliner.Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run id scale seed =
+    let ctx = ctx_of ~scale ~seed in
+    if id = "all" then begin
+      Mm_experiments.Registry.run_all ctx;
+      `Ok ()
+    end
+    else
+      match Mm_experiments.Registry.find id with
+      | Some e ->
+        e.Mm_experiments.Registry.run ctx;
+        `Ok ()
+      | None ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S; try `mmstudy list`" id)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "run"
+       ~doc:"Run one experiment (a table or figure of the paper) or all.")
+    Cmdliner.Term.(ret (const run $ id_arg $ scale_arg $ seed_arg))
+
+let sim_cmd =
+  let machine_arg =
+    let doc = "Machine model: xeon or niagara." in
+    Cmdliner.Arg.(value & opt string "xeon" & info [ "machine" ] ~docv:"M" ~doc)
+  in
+  let cores_arg =
+    let doc = "Active cores (1-8)." in
+    Cmdliner.Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let alloc_arg =
+    let doc = "Allocator (see `mmstudy list`)." in
+    Cmdliner.Arg.(
+      value & opt string "ddmalloc" & info [ "alloc" ] ~docv:"A" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload (see `mmstudy list`)." in
+    Cmdliner.Arg.(
+      value & opt string "mediawiki-ro" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let run machine cores alloc workload scale seed =
+    let machine_v =
+      match machine with
+      | "xeon" -> Some Mm_cachesim.Machine.xeon
+      | "niagara" -> Some Mm_cachesim.Machine.niagara
+      | _ -> None
+    in
+    match
+      ( machine_v,
+        Mm_runtime.Alloc_factory.of_name alloc,
+        Mm_workload.Spec.by_name workload )
+    with
+    | None, _, _ -> `Error (false, "unknown machine (xeon | niagara)")
+    | _, None, _ -> `Error (false, "unknown allocator; try `mmstudy list`")
+    | _, _, None -> `Error (false, "unknown workload; try `mmstudy list`")
+    | Some machine, Some kind, Some spec ->
+      let ctx = ctx_of ~scale ~seed in
+      let m =
+        Mm_experiments.Context.run_php ctx ~machine ~cores ~kind ~spec ()
+      in
+      let p = m.Mm_runtime.Engine.perf in
+      let module P = Mm_cachesim.Perf_model in
+      let module E = Mm_cachesim.Events in
+      Printf.printf "%s, %d core(s), %s, %s (scale %.2f):\n" machine.Mm_cachesim.Machine.name
+        cores alloc workload scale;
+      Printf.printf "  throughput            %10.1f txn/s\n"
+        m.Mm_runtime.Engine.throughput;
+      Printf.printf "  cycles/txn            %10.0f (full-transaction equivalent)\n"
+        (p.P.cycles_per_txn /. scale);
+      Printf.printf "  memory mgmt share     %10.1f %%\n"
+        (100.0 *. p.P.breakdown.P.mgmt_cycles /. p.P.cycles_per_txn);
+      Printf.printf "  bus utilization       %10.2f\n" p.P.bus_utilization;
+      Printf.printf "  eff. memory latency   %10.0f cycles\n" p.P.mem_latency_eff;
+      let per c = Mm_runtime.Engine.event_per_txn m c /. scale in
+      List.iter
+        (fun c ->
+          Printf.printf "  %-20s  %10.0f /txn\n" (E.counter_name c) (per c))
+        E.all_counters;
+      Printf.printf "  consumption (mean)    %10s\n"
+        (Mm_stats.Table.fmt_bytes
+           (int_of_float
+              (Mm_stats.Summary.mean m.Mm_runtime.Engine.consumption /. scale)));
+      `Ok ()
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sim"
+       ~doc:"Run one simulation configuration and print its full profile.")
+    Cmdliner.Term.(
+      ret
+        (const run $ machine_arg $ cores_arg $ alloc_arg $ workload_arg
+       $ scale_arg $ seed_arg))
+
+let () =
+  let doc =
+    "Reproduction of `A Study of Memory Management for Web-based \
+     Applications on Multicore Processors' (PLDI 2009)."
+  in
+  let info = Cmdliner.Cmd.info "mmstudy" ~version:"1.0.0" ~doc in
+  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info [ list_cmd; run_cmd; sim_cmd ]))

@@ -1,0 +1,53 @@
+(* Development smoke driver: one workload, three allocators, both machines. *)
+
+let () =
+  let scale = try float_of_string Sys.argv.(1) with _ -> 0.05 in
+  let spec = Mm_workload.Spec.mediawiki_ro in
+  let kinds =
+    [
+      Mm_runtime.Alloc_factory.Php_default;
+      Mm_runtime.Alloc_factory.Region;
+      Mm_runtime.Alloc_factory.Dd None;
+    ]
+  in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun cores ->
+          List.iter
+            (fun kind ->
+              let t0 = Unix.gettimeofday () in
+              let large_page_heap =
+                machine.Mm_cachesim.Machine.name = "niagara"
+              in
+              let cfg =
+                Mm_runtime.Engine.config ~machine ~active_cores:cores ~kind
+                  ~spec ~scale ~large_page_heap ()
+              in
+              let m = Mm_runtime.Engine.run cfg in
+              let p = m.Mm_runtime.Engine.perf in
+              Printf.printf
+                "%-8s %dc %-12s thr=%8.1f txn/s  cyc/txn=%12.0f  mgmt%%=%4.1f  rho=%4.2f  memlat=%5.0f  l2m/txn=%8.0f bus/txn=%8.0f l1d/txn=%9.0f dtlb=%7.0f  cons=%s  (%.1fs)\n%!"
+                machine.Mm_cachesim.Machine.name cores
+                (Mm_runtime.Alloc_factory.kind_name kind)
+                m.Mm_runtime.Engine.throughput
+                (p.Mm_cachesim.Perf_model.cycles_per_txn /. scale)
+                (100.0
+                *. p.Mm_cachesim.Perf_model.breakdown
+                     .Mm_cachesim.Perf_model.mgmt_cycles
+                /. p.Mm_cachesim.Perf_model.cycles_per_txn)
+                p.Mm_cachesim.Perf_model.bus_utilization
+                p.Mm_cachesim.Perf_model.mem_latency_eff
+                (Mm_runtime.Engine.event_per_txn m Mm_cachesim.Events.L2_miss /. scale)
+                ((Mm_runtime.Engine.event_per_txn m Mm_cachesim.Events.Bus_fill
+                 +. Mm_runtime.Engine.event_per_txn m Mm_cachesim.Events.Bus_writeback
+                 +. Mm_runtime.Engine.event_per_txn m Mm_cachesim.Events.Bus_prefetch)
+                /. scale)
+                (Mm_runtime.Engine.event_per_txn m Mm_cachesim.Events.L1d_miss /. scale)
+                (Mm_runtime.Engine.event_per_txn m Mm_cachesim.Events.Dtlb_miss /. scale)
+                (Mm_stats.Table.fmt_bytes
+                   (int_of_float (Mm_stats.Summary.mean m.Mm_runtime.Engine.consumption)))
+                (Unix.gettimeofday () -. t0))
+            kinds)
+        [ 1; 8 ])
+    [ Mm_cachesim.Machine.xeon; Mm_cachesim.Machine.niagara ]

@@ -1,0 +1,1 @@
+examples/cache_explorer.ml: List Mm_cachesim Mm_memsim Mm_stats Printf

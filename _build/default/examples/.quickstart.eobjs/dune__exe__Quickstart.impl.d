@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core List Mm_memsim Mm_stats Printf

@@ -1,0 +1,1 @@
+examples/restart_tuning.ml: Array List Mm_experiments Mm_runtime Mm_stats Printf Sys

@@ -1,0 +1,1 @@
+examples/restart_tuning.mli:

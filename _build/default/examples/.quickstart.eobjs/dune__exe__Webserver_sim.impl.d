@@ -1,0 +1,1 @@
+examples/webserver_sim.ml: Array List Mm_cachesim Mm_experiments Mm_runtime Mm_stats Mm_workload Printf Sys

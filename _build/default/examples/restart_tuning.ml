@@ -1,0 +1,54 @@
+(* Tuning worker-restart policy for a Ruby application (§4.4, Figure 12).
+
+   Operators of scripting-language servers restart workers periodically to
+   shed heap fragmentation; restarting too often wastes boot time and cold
+   caches.  This example sweeps the restart period for two allocators and
+   prints the throughput trade-off curve the paper measured.
+
+   Run with:  dune exec examples/restart_tuning.exe [scale]  (default 0.1) *)
+
+module E = Mm_runtime.Engine
+module F = Mm_runtime.Alloc_factory
+module Table = Mm_stats.Table
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.1
+  in
+  let ctx = Mm_experiments.Context.create ~scale () in
+  let measure = 160 in
+  let thr kind restart_period =
+    (Mm_experiments.Context.run_ruby ctx ~kind ~restart_period
+       ~measure_txns:measure)
+      .E.throughput
+  in
+  let t =
+    Table.create
+      ~title:"Worker restart period vs throughput (Rails-like app, 8 Xeon cores)"
+      ~columns:
+        [
+          ("restart every", Table.Left);
+          ("glibc txn/s", Table.Right);
+          ("DDmalloc txn/s", Table.Right);
+        ]
+  in
+  let periods = [ Some 2; Some 10; Some 50; None ] in
+  let label = function
+    | Some p -> Printf.sprintf "%d txns" p
+    | None -> "never"
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          label p;
+          Table.fmt_float ~decimals:1 (thr F.Glibc p);
+          Table.fmt_float ~decimals:1 (thr (F.Dd None) p);
+        ])
+    periods;
+  Table.print t;
+  print_endline
+    "Too-frequent restarts pay the boot cost; never restarting accumulates\n\
+     scattered free lists. The sweet spot sits at moderate periods - and\n\
+     is worth more to DDmalloc, which relies on heap compactness (paper:\n\
+     +4.0% at 500 for DDmalloc vs +1.1% for glibc)."

@@ -1,0 +1,1 @@
+lib/baselines/boundary_heap.ml: Core List Mm_memsim Printf Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/boundary_heap.mli: Mm_memsim

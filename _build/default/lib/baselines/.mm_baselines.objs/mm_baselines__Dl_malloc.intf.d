@@ -1,0 +1,1 @@
+lib/baselines/dl_malloc.mli: Core

@@ -1,0 +1,1 @@
+lib/baselines/hoard_malloc.ml: Core Mm_memsim Printf Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/hoard_malloc.mli: Core

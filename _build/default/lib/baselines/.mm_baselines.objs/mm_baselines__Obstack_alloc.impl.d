@@ -1,0 +1,1 @@
+lib/baselines/obstack_alloc.ml: Core Hashtbl Mm_memsim Printf Stdlib

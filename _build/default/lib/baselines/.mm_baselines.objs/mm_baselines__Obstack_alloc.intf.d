@@ -1,0 +1,1 @@
+lib/baselines/obstack_alloc.mli: Core

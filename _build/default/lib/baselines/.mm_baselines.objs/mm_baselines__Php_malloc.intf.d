@@ -1,0 +1,1 @@
+lib/baselines/php_malloc.mli: Core

@@ -1,0 +1,1 @@
+lib/baselines/reap_malloc.ml: Boundary_heap Core

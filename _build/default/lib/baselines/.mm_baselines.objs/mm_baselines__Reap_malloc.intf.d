@@ -1,0 +1,1 @@
+lib/baselines/reap_malloc.mli: Core

@@ -1,0 +1,1 @@
+lib/baselines/region_alloc.ml: Array Core Hashtbl Mm_memsim Printf Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/region_alloc.mli: Core

@@ -1,0 +1,1 @@
+lib/baselines/tc_malloc.mli: Core

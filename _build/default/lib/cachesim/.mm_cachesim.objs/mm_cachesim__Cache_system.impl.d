@@ -1,0 +1,1 @@
+lib/cachesim/cache_system.ml: Cache Events List Machine Mm_memsim Prefetcher Tlb

@@ -1,0 +1,1 @@
+lib/cachesim/cache_system.mli: Events Machine Mm_memsim

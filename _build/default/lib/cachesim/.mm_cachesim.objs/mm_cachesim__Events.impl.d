@@ -1,0 +1,1 @@
+lib/cachesim/events.ml: Array List Mm_memsim

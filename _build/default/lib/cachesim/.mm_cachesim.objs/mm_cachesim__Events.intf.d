@@ -1,0 +1,1 @@
+lib/cachesim/events.mli: Mm_memsim

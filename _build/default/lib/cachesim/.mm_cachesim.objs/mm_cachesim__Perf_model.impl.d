@@ -1,0 +1,1 @@
+lib/cachesim/perf_model.ml: Events Float List Machine Mm_memsim Mm_stats

@@ -1,0 +1,1 @@
+lib/cachesim/perf_model.mli: Events Machine

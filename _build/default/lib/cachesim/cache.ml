@@ -1,0 +1,104 @@
+type t = {
+  nsets : int;
+  nways : int;
+  set_mask : int;
+  tags : int array;  (* nsets * nways; -1 = empty *)
+  age : int array;
+  dirty : Bytes.t;
+  prefetched : Bytes.t;  (* line filled by prefetch, not yet demand-touched *)
+  mutable clock : int;
+}
+
+type result =
+  | Hit
+  | Hit_prefetched
+  | Miss of { victim_line : int; victim_dirty : bool }
+
+let create ~sets ~ways =
+  assert (sets > 0 && sets land (sets - 1) = 0);
+  assert (ways > 0);
+  {
+    nsets = sets;
+    nways = ways;
+    set_mask = sets - 1;
+    tags = Array.make (sets * ways) (-1);
+    age = Array.make (sets * ways) 0;
+    dirty = Bytes.make (sets * ways) '\000';
+    prefetched = Bytes.make (sets * ways) '\000';
+    clock = 0;
+  }
+
+let sets t = t.nsets
+
+let ways t = t.nways
+
+(* Find the way holding [line] in [set], or -1. *)
+let find t set line =
+  let base = set * t.nways in
+  let rec go w =
+    if w = t.nways then -1
+    else if t.tags.(base + w) = line then base + w
+    else go (w + 1)
+  in
+  go 0
+
+let lru_slot t set =
+  let base = set * t.nways in
+  let best = ref base in
+  for w = 1 to t.nways - 1 do
+    if t.age.(base + w) < t.age.(!best) then best := base + w
+  done;
+  !best
+
+let access t ~line ~store =
+  let set = line land t.set_mask in
+  t.clock <- t.clock + 1;
+  let slot = find t set line in
+  if slot >= 0 then begin
+    t.age.(slot) <- t.clock;
+    if store then Bytes.unsafe_set t.dirty slot '\001';
+    if Bytes.unsafe_get t.prefetched slot = '\001' then begin
+      Bytes.unsafe_set t.prefetched slot '\000';
+      Hit_prefetched
+    end
+    else Hit
+  end
+  else begin
+    let slot = lru_slot t set in
+    let victim_line = t.tags.(slot) in
+    let victim_dirty = Bytes.unsafe_get t.dirty slot = '\001' in
+    t.tags.(slot) <- line;
+    t.age.(slot) <- t.clock;
+    Bytes.unsafe_set t.dirty slot (if store then '\001' else '\000');
+    Bytes.unsafe_set t.prefetched slot '\000';
+    Miss { victim_line; victim_dirty }
+  end
+
+let insert t ~line =
+  let set = line land t.set_mask in
+  t.clock <- t.clock + 1;
+  let slot = find t set line in
+  if slot >= 0 then begin
+    t.age.(slot) <- t.clock;
+    Hit
+  end
+  else begin
+    let slot = lru_slot t set in
+    let victim_line = t.tags.(slot) in
+    let victim_dirty = Bytes.unsafe_get t.dirty slot = '\001' in
+    t.tags.(slot) <- line;
+    t.age.(slot) <- t.clock;
+    Bytes.unsafe_set t.dirty slot '\000';
+    Bytes.unsafe_set t.prefetched slot '\001';
+    Miss { victim_line; victim_dirty }
+  end
+
+let contains t ~line =
+  let set = line land t.set_mask in
+  find t set line >= 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.age 0 (Array.length t.age) 0;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  Bytes.fill t.prefetched 0 (Bytes.length t.prefetched) '\000'

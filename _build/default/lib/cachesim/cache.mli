@@ -1,0 +1,36 @@
+(** One set-associative, write-back, write-allocate cache level.
+
+    Addresses are presented pre-shifted as line numbers; LRU replacement;
+    dirty bits drive writeback accounting.  The hot path allocates nothing. *)
+
+type t
+
+type result =
+  | Hit
+  | Hit_prefetched
+      (** first demand touch of a line brought in by the prefetcher — the
+          reference may still wait on the in-flight fill (a "late"
+          prefetch) *)
+  | Miss of { victim_line : int; victim_dirty : bool }
+      (** [victim_line] is [-1] when the frame was empty. *)
+
+val create : sets:int -> ways:int -> t
+(** [sets] must be a power of two. *)
+
+val access : t -> line:int -> store:bool -> result
+(** Reference a line; on miss the line is filled (and marked dirty if
+    [store]). *)
+
+val insert : t -> line:int -> result
+(** Fill a line without a demand reference (prefetch); clean, LRU-refreshed.
+    [Hit] if already present. *)
+
+val contains : t -> line:int -> bool
+(** Probe without disturbing LRU state. *)
+
+val flush : t -> unit
+(** Invalidate everything (drops dirty data; used only between runs). *)
+
+val sets : t -> int
+
+val ways : t -> int

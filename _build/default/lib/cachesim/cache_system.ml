@@ -1,0 +1,122 @@
+module Access = Mm_memsim.Access
+module Memory = Mm_memsim.Memory
+
+type t = {
+  machine : Machine.t;
+  active_cores : int;
+  line_shift : int;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  tlb : Tlb.t;
+  pf : Prefetcher.t;
+  ev : Events.t;
+}
+
+let geom_sets (g : Machine.cache_geom) ~line_size =
+  let sets = g.Machine.size / (line_size * g.Machine.ways) in
+  assert (sets > 0 && sets land (sets - 1) = 0);
+  sets
+
+let create ~machine ~active_cores ~large_page_heap =
+  let m = machine in
+  let line_size = m.Machine.line_size in
+  let page_shift =
+    if large_page_heap then m.Machine.large_page_bits else m.Machine.page_bits
+  in
+  {
+    machine = m;
+    active_cores;
+    line_shift = Machine.line_shift m;
+    l1i = Cache.create ~sets:(geom_sets m.Machine.l1i ~line_size) ~ways:m.Machine.l1i.Machine.ways;
+    l1d = Cache.create ~sets:(geom_sets m.Machine.l1d ~line_size) ~ways:m.Machine.l1d.Machine.ways;
+    l2 =
+      Cache.create
+        ~sets:(Machine.l2_sets_per_core m ~active_cores)
+        ~ways:m.Machine.l2.Machine.ways;
+    tlb = Tlb.create ~entries:m.Machine.dtlb_entries ~page_shift;
+    pf = Prefetcher.create ~streams:m.Machine.prefetch_streams ~degree:m.Machine.prefetch_degree;
+    ev = Events.create ();
+  }
+
+(* An L2 reference on behalf of [ctx]; misses go to memory. *)
+let l2_ref t ctx ~line ~store =
+  match Cache.access t.l2 ~line ~store with
+  | Cache.Hit -> ()
+  | Cache.Hit_prefetched -> Events.add t.ev ctx Events.Pf_late 1
+  | Cache.Miss { victim_dirty; _ } ->
+    Events.add t.ev ctx Events.L2_miss 1;
+    Events.add t.ev ctx Events.Bus_fill 1;
+    if victim_dirty then Events.add t.ev ctx Events.Bus_writeback 1
+
+let prefetch t ctx lines =
+  List.iter
+    (fun line ->
+      match Cache.insert t.l2 ~line with
+      | Cache.Hit | Cache.Hit_prefetched -> ()
+      | Cache.Miss { victim_dirty; _ } ->
+        Events.add t.ev ctx Events.Bus_prefetch 1;
+        if victim_dirty then Events.add t.ev ctx Events.Bus_writeback 1)
+    lines
+
+(* One data reference to a single line. *)
+let data_line t ctx ~line ~addr ~store =
+  Events.add t.ev ctx Events.Instructions 1;
+  Events.add t.ev ctx (if store then Events.Stores else Events.Loads) 1;
+  if not (Tlb.access t.tlb ~addr) then Events.add t.ev ctx Events.Dtlb_miss 1;
+  match Cache.access t.l1d ~line ~store with
+  | Cache.Hit | Cache.Hit_prefetched -> ()
+  | Cache.Miss { victim_line; victim_dirty } ->
+    Events.add t.ev ctx Events.L1d_miss 1;
+    (* Dirty L1 victim is written back into L2. *)
+    if victim_dirty && victim_line >= 0 then
+      l2_ref t ctx ~line:victim_line ~store:true;
+    l2_ref t ctx ~line ~store:false;
+    prefetch t ctx (Prefetcher.on_miss t.pf ~line)
+
+let on_data_access t (a : Access.t) =
+  let store =
+    match a.kind with
+    | Access.Load -> false
+    | Access.Store -> true
+  in
+  let first = a.addr lsr t.line_shift in
+  let last = (a.addr + a.bytes - 1) lsr t.line_shift in
+  for line = first to last do
+    let addr = line lsl t.line_shift in
+    let addr = if line = first then a.addr else addr in
+    data_line t a.context ~line ~addr ~store
+  done
+
+let on_code_access t ctx addr =
+  let line = addr lsr t.line_shift in
+  match Cache.access t.l1i ~line ~store:false with
+  | Cache.Hit | Cache.Hit_prefetched -> ()
+  | Cache.Miss _ ->
+    Events.add t.ev ctx Events.L1i_miss 1;
+    l2_ref t ctx ~line ~store:false
+
+let on_instr t ctx n = Events.add t.ev ctx Events.Instructions n
+
+let attach t mem =
+  Memory.set_access_observer mem (on_data_access t);
+  Memory.set_code_observer mem (on_code_access t);
+  Memory.set_instr_observer mem (on_instr t)
+
+let on_context_switch t =
+  if t.machine.Machine.tlb_flush_on_switch then Tlb.flush t.tlb
+
+let events t = t.ev
+
+let reset_events t = Events.reset t.ev
+
+let flush t =
+  Cache.flush t.l1i;
+  Cache.flush t.l1d;
+  Cache.flush t.l2;
+  Tlb.flush t.tlb;
+  Prefetcher.reset t.pf
+
+let machine t = t.machine
+
+let active_cores t = t.active_cores

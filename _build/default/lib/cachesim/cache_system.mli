@@ -1,0 +1,36 @@
+(** One simulated core's memory hierarchy, wired to a simulated memory.
+
+    The runtime simulates a single representative core (all cores run
+    statistically identical PHP processes); this module consumes that
+    core's reference streams — data accesses, instruction fetches, and
+    instruction counts — and maintains L1I, L1D, the core's share of L2,
+    the D-TLB, and the stream prefetcher, accumulating the paper's
+    hardware-event counters per context.  The multicore performance model
+    ({!Perf_model}) then scales one core's behaviour to the machine. *)
+
+type t
+
+val create :
+  machine:Machine.t -> active_cores:int -> large_page_heap:bool -> t
+(** The core's L2 share shrinks as more cores are active
+    ({!Machine.l2_sets_per_core}); [large_page_heap] selects the D-TLB
+    page size (§3.3 optimization 2). *)
+
+val attach : t -> Mm_memsim.Memory.t -> unit
+(** Install this hierarchy as the memory's access/instruction/code
+    observers. *)
+
+val on_context_switch : t -> unit
+(** Process switch on this core: flushes the TLB on machines without
+    address-space identifiers (x86), nothing elsewhere. *)
+
+val events : t -> Events.t
+
+val reset_events : t -> unit
+
+val flush : t -> unit
+(** Cold caches (process restart / measurement barrier). *)
+
+val machine : t -> Machine.t
+
+val active_cores : t -> int

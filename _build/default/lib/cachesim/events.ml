@@ -1,0 +1,90 @@
+type counter =
+  | Instructions
+  | Loads
+  | Stores
+  | L1i_miss
+  | L1d_miss
+  | L2_miss
+  | Dtlb_miss
+  | Bus_fill
+  | Bus_writeback
+  | Bus_prefetch
+  | Pf_late
+
+let counter_name = function
+  | Instructions -> "instructions"
+  | Loads -> "loads"
+  | Stores -> "stores"
+  | L1i_miss -> "L1I miss"
+  | L1d_miss -> "L1D miss"
+  | L2_miss -> "L2 miss"
+  | Dtlb_miss -> "D-TLB miss"
+  | Bus_fill -> "bus fill"
+  | Bus_writeback -> "bus writeback"
+  | Bus_prefetch -> "bus prefetch"
+  | Pf_late -> "late prefetch hit"
+
+let all_counters =
+  [
+    Instructions;
+    Loads;
+    Stores;
+    L1i_miss;
+    L1d_miss;
+    L2_miss;
+    Dtlb_miss;
+    Bus_fill;
+    Bus_writeback;
+    Bus_prefetch;
+    Pf_late;
+  ]
+
+let ncounters = List.length all_counters
+
+let counter_index = function
+  | Instructions -> 0
+  | Loads -> 1
+  | Stores -> 2
+  | L1i_miss -> 3
+  | L1d_miss -> 4
+  | L2_miss -> 5
+  | Dtlb_miss -> 6
+  | Bus_fill -> 7
+  | Bus_writeback -> 8
+  | Bus_prefetch -> 9
+  | Pf_late -> 10
+
+let context_index = function
+  | Mm_memsim.Access.Mgmt -> 0
+  | Mm_memsim.Access.App -> 1
+  | Mm_memsim.Access.Kernel -> 2
+
+let ncontexts = 3
+
+type t = int array  (* [ctx * ncounters + counter] *)
+
+let create () = Array.make (ncontexts * ncounters) 0
+
+let reset t = Array.fill t 0 (Array.length t) 0
+
+let add t ctx counter n =
+  let i = (context_index ctx * ncounters) + counter_index counter in
+  t.(i) <- t.(i) + n
+
+let get t ctx counter = t.((context_index ctx * ncounters) + counter_index counter)
+
+let total t counter =
+  let c = counter_index counter in
+  let acc = ref 0 in
+  for ctx = 0 to ncontexts - 1 do
+    acc := !acc + t.((ctx * ncounters) + c)
+  done;
+  !acc
+
+let bus_transactions t = total t Bus_fill + total t Bus_writeback + total t Bus_prefetch
+
+let accumulate ~into t =
+  assert (Array.length into = Array.length t);
+  Array.iteri (fun i v -> into.(i) <- into.(i) + v) t
+
+let copy = Array.copy

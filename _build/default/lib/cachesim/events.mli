@@ -1,0 +1,45 @@
+(** Hardware-event counters, per access context.
+
+    These are the same counters the paper reads with Oprofile (Figure 8:
+    instructions, L1I / L1D / D-TLB / L2 misses, bus transactions), kept
+    separately for [Mgmt], [App] and [Kernel] so the profiler can attribute
+    CPU time the way Figure 6 does. *)
+
+type counter =
+  | Instructions
+  | Loads
+  | Stores
+  | L1i_miss
+  | L1d_miss
+  | L2_miss  (** demand misses that went to memory *)
+  | Dtlb_miss
+  | Bus_fill  (** demand line fills from memory *)
+  | Bus_writeback
+  | Bus_prefetch  (** prefetcher line fills from memory *)
+  | Pf_late
+      (** first demand touches of prefetched lines (pay a partial memory
+          latency — the fill was in flight) *)
+
+val counter_name : counter -> string
+
+val all_counters : counter list
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add : t -> Mm_memsim.Access.context -> counter -> int -> unit
+
+val get : t -> Mm_memsim.Access.context -> counter -> int
+
+val total : t -> counter -> int
+(** Sum over all contexts. *)
+
+val bus_transactions : t -> int
+(** Fills + writebacks + prefetches, the paper's "bus transactions". *)
+
+val accumulate : into:t -> t -> unit
+
+val copy : t -> t

@@ -1,0 +1,36 @@
+(** The multicore performance model.
+
+    Converts one core's measured per-transaction event counts into system
+    throughput.  Cycles come from a stall model (base CPI + L2-hit, memory,
+    and TLB penalties); memory latency is inflated by queueing on the
+    shared bus, whose utilization depends on throughput — the model solves
+    that fixed point.  Latency tolerance differs per platform exactly as in
+    the paper's discussion: out-of-order overlap on Xeon
+    ([stall_overlap]), 4-way fine-grained multithreading on Niagara
+    (stalled threads yield the pipeline, so a core is compute-bound until
+    all four threads stall together).
+
+    This is where the paper's headline effect lives: an allocator that
+    raises bus transactions per transaction raises utilization, which
+    raises effective memory latency for {e everyone}, which caps
+    throughput as cores are added. *)
+
+type breakdown = {
+  mgmt_cycles : float;  (** per transaction *)
+  app_cycles : float;
+  kernel_cycles : float;
+}
+
+type result = {
+  cycles_per_txn : float;  (** wall cycles one hardware thread spends *)
+  throughput : float;  (** system transactions / second *)
+  breakdown : breakdown;
+  bus_utilization : float;  (** 0..1 *)
+  mem_latency_eff : float;  (** cycles, after queueing *)
+}
+
+val solve :
+  machine:Machine.t -> active_cores:int -> events:Events.t -> txns:int ->
+  result
+(** [events] are the totals measured on the simulated core over [txns]
+    transactions; the model works with per-transaction averages. *)

@@ -1,0 +1,60 @@
+type t = {
+  streams : int;
+  degree : int;
+  next : int array;  (* expected next miss line per slot; -1 = free *)
+  confidence : int array;
+  age : int array;
+  mutable clock : int;
+}
+
+let create ~streams ~degree =
+  assert (streams >= 0 && degree >= 1);
+  {
+    streams;
+    degree;
+    next = Array.make (Stdlib.max streams 1) (-1);
+    confidence = Array.make (Stdlib.max streams 1) 0;
+    age = Array.make (Stdlib.max streams 1) 0;
+    clock = 0;
+  }
+
+let reset t =
+  Array.fill t.next 0 (Array.length t.next) (-1);
+  Array.fill t.confidence 0 (Array.length t.confidence) 0
+
+let on_miss t ~line =
+  if t.streams = 0 then []
+  else begin
+    t.clock <- t.clock + 1;
+    (* Does this miss continue a tracked stream? *)
+    let slot = ref (-1) in
+    for i = 0 to t.streams - 1 do
+      if t.next.(i) = line then slot := i
+    done;
+    if !slot >= 0 then begin
+      let i = !slot in
+      t.confidence.(i) <- t.confidence.(i) + 1;
+      t.next.(i) <- line + 1;
+      t.age.(i) <- t.clock;
+      if t.confidence.(i) >= 1 then
+        (* Confirmed stream: run ahead of the demand stream, but never
+           across a 4 KB page boundary (the DPL prefetcher stops there). *)
+        let page = line lsr 6 in
+        List.filter
+          (fun l -> l lsr 6 = page)
+          (List.init t.degree (fun k -> line + 1 + k))
+      else []
+    end
+    else begin
+      (* Allocate (steal the LRU slot) for a potential new stream. *)
+      let victim = ref 0 in
+      for i = 1 to t.streams - 1 do
+        if t.age.(i) < t.age.(!victim) then victim := i
+      done;
+      let i = !victim in
+      t.next.(i) <- line + 1;
+      t.confidence.(i) <- 0;
+      t.age.(i) <- t.clock;
+      []
+    end
+  end

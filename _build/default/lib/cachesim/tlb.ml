@@ -1,0 +1,39 @@
+type t = {
+  entries : int;
+  shift : int;
+  table : (int, int) Hashtbl.t;  (* page -> last-use stamp *)
+  mutable clock : int;
+}
+
+let create ~entries ~page_shift =
+  assert (entries > 0 && page_shift >= 10);
+  { entries; shift = page_shift; table = Hashtbl.create 256; clock = 0 }
+
+let evict_lru t =
+  let victim = ref (-1) in
+  let oldest = ref max_int in
+  Hashtbl.iter
+    (fun page stamp ->
+      if stamp < !oldest then begin
+        oldest := stamp;
+        victim := page
+      end)
+    t.table;
+  if !victim >= 0 then Hashtbl.remove t.table !victim
+
+let access t ~addr =
+  let page = addr lsr t.shift in
+  t.clock <- t.clock + 1;
+  if Hashtbl.mem t.table page then begin
+    Hashtbl.replace t.table page t.clock;
+    true
+  end
+  else begin
+    if Hashtbl.length t.table >= t.entries then evict_lru t;
+    Hashtbl.replace t.table page t.clock;
+    false
+  end
+
+let flush t = Hashtbl.reset t.table
+
+let page_shift t = t.shift

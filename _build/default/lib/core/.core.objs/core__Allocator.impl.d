@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Mm_memsim

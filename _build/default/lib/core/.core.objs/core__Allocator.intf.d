@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Mm_memsim

@@ -1,0 +1,1 @@
+lib/core/code_model.ml: Mm_memsim

@@ -1,0 +1,1 @@
+lib/core/code_model.mli: Mm_memsim

@@ -1,0 +1,1 @@
+lib/core/ddmalloc.ml: Allocator Code_model Mm_memsim Printf Size_class Stdlib

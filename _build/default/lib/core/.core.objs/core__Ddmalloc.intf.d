@@ -1,0 +1,1 @@
+lib/core/ddmalloc.mli: Allocator Size_class

@@ -1,0 +1,1 @@
+lib/core/size_class.mli:

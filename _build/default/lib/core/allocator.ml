@@ -1,0 +1,131 @@
+type capabilities = {
+  bulk_free : bool;
+  per_object_free : bool;
+  defragmentation : bool;
+}
+
+type stats = {
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable reallocs : int;
+  mutable free_alls : int;
+  mutable bytes_requested : int;
+  mutable peak_consumption : int;
+}
+
+module type S = sig
+  type t
+
+  type config
+
+  val name : string
+
+  val capabilities : capabilities
+
+  val default_config : config
+
+  val code_size : int
+
+  val create :
+    ?config:config ->
+    os:Mm_memsim.Os_layer.t ->
+    mem:Mm_memsim.Memory.t ->
+    pid:int ->
+    code_base:int ->
+    unit ->
+    t
+
+  val malloc : t -> size:int -> int
+
+  val free : t -> addr:int -> unit
+
+  val realloc : t -> addr:int -> size:int -> int
+
+  val usable_size : t -> addr:int -> int
+
+  val free_all : t -> unit
+
+  val consumption : t -> int
+
+  val live_objects : t -> int
+end
+
+type handle = {
+  h_name : string;
+  h_caps : capabilities;
+  h_stats : stats;
+  h_malloc : size:int -> int;
+  h_calloc : count:int -> size:int -> int;
+  h_free : addr:int -> unit;
+  h_realloc : addr:int -> size:int -> int;
+  h_usable_size : addr:int -> int;
+  h_free_all : unit -> unit;
+  h_consumption : unit -> int;
+  h_live_objects : unit -> int;
+  h_reset_peak : unit -> unit;
+}
+
+let make_stats () =
+  {
+    mallocs = 0;
+    frees = 0;
+    reallocs = 0;
+    free_alls = 0;
+    bytes_requested = 0;
+    peak_consumption = 0;
+  }
+
+let pack (type a) (module A : S with type t = a) ~mem (heap : a) =
+  let stats = make_stats () in
+  let module Mem = Mm_memsim.Memory in
+  let in_mgmt f = Mem.with_context mem Mm_memsim.Access.Mgmt f in
+  let note_consumption () =
+    let c = A.consumption heap in
+    if c > stats.peak_consumption then stats.peak_consumption <- c
+  in
+  let malloc ~size =
+    let addr = in_mgmt (fun () -> A.malloc heap ~size) in
+    stats.mallocs <- stats.mallocs + 1;
+    stats.bytes_requested <- stats.bytes_requested + size;
+    note_consumption ();
+    addr
+  in
+  let calloc ~count ~size =
+    let total = count * size in
+    let addr = malloc ~size:total in
+    (* calloc zeroes the payload with real stores; this traffic is charged
+       to the application like the memset in libc runs in user code. *)
+    Mem.memset mem ~addr ~bytes:total ~value:0;
+    Mem.instr mem (4 + (total / 16));
+    addr
+  in
+  let free ~addr =
+    in_mgmt (fun () -> A.free heap ~addr);
+    stats.frees <- stats.frees + 1
+  in
+  let realloc ~addr ~size =
+    let addr' = in_mgmt (fun () -> A.realloc heap ~addr ~size) in
+    stats.reallocs <- stats.reallocs + 1;
+    stats.bytes_requested <- stats.bytes_requested + size;
+    note_consumption ();
+    addr'
+  in
+  let usable_size ~addr = in_mgmt (fun () -> A.usable_size heap ~addr) in
+  let free_all () =
+    in_mgmt (fun () -> A.free_all heap);
+    stats.free_alls <- stats.free_alls + 1
+  in
+  {
+    h_name = A.name;
+    h_caps = A.capabilities;
+    h_stats = stats;
+    h_malloc = malloc;
+    h_calloc = calloc;
+    h_free = free;
+    h_realloc = realloc;
+    h_usable_size = usable_size;
+    h_free_all = free_all;
+    h_consumption = (fun () -> A.consumption heap);
+    h_live_objects = (fun () -> A.live_objects heap);
+    h_reset_peak = (fun () -> stats.peak_consumption <- A.consumption heap);
+  }

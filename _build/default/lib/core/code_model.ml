@@ -1,0 +1,10 @@
+let code_space_base = 1 lsl 41
+
+let line_size = 64
+
+let touch_path mem ~base ~offset ~lines =
+  assert (lines > 0);
+  let start = base + offset in
+  for i = 0 to lines - 1 do
+    Mm_memsim.Memory.code_touch mem ~addr:(start + (i * line_size))
+  done

@@ -1,0 +1,18 @@
+(** Synthetic instruction-fetch modeling.
+
+    The paper's Figure 8 credits part of DDmalloc's and the region
+    allocator's win to their *smaller allocator code* — fewer L1I misses.
+    To make that emergent rather than assumed, every allocator operation
+    reports the code lines its path would execute: [lines] consecutive
+    64-byte I-cache lines starting at [base + offset] in a synthetic code
+    address space (disjoint from the heap).  The I-cache model consumes
+    these like any other reference stream. *)
+
+val code_space_base : int
+(** Base of the synthetic code space (above all heap addresses). *)
+
+val line_size : int
+
+val touch_path :
+  Mm_memsim.Memory.t -> base:int -> offset:int -> lines:int -> unit
+(** Report execution of [lines] consecutive code lines at [base+offset]. *)

@@ -1,0 +1,64 @@
+type scheme = {
+  name : string;
+  sizes : int array;
+  map : int array;  (* size -> class index, for all sizes in [0, max] *)
+}
+
+let name t = t.name
+
+let max_size t = t.sizes.(Array.length t.sizes - 1)
+
+let class_count t = Array.length t.sizes
+
+let class_sizes t = Array.copy t.sizes
+
+let index_of_size t n =
+  assert (n >= 1 && n <= max_size t);
+  t.map.(n)
+
+let size_of_index t i = t.sizes.(i)
+
+let overhead t n = t.sizes.(t.map.(n)) - n
+
+let of_sizes ~name sizes =
+  assert (Array.length sizes > 0);
+  Array.iteri
+    (fun i s ->
+      assert (s > 0);
+      if i > 0 then assert (s > sizes.(i - 1)))
+    sizes;
+  let max = sizes.(Array.length sizes - 1) in
+  let map = Array.make (max + 1) 0 in
+  (* Walk sizes upward, assigning each request size the smallest class that
+     fits it. *)
+  let cls = ref 0 in
+  for n = 1 to max do
+    while sizes.(!cls) < n do
+      incr cls
+    done;
+    map.(n) <- !cls
+  done;
+  { name; sizes; map }
+
+let rec pow2_at_least n p = if p >= n then p else pow2_at_least n (p * 2)
+
+let pow2_run ~from ~max_size =
+  let rec go acc p = if p > max_size then List.rev acc else go (p :: acc) (p * 2) in
+  go [] (pow2_at_least from from)
+
+let paper ~max_size =
+  assert (max_size >= 1024);
+  let small = List.init 16 (fun i -> 8 * (i + 1)) in
+  let medium = List.init 12 (fun i -> 160 + (32 * i)) in
+  let large = pow2_run ~from:1024 ~max_size in
+  of_sizes ~name:"paper" (Array.of_list (small @ medium @ large))
+
+let power_of_two ~max_size =
+  assert (max_size >= 8);
+  of_sizes ~name:"pow2" (Array.of_list (pow2_run ~from:8 ~max_size))
+
+let fine ~max_size =
+  assert (max_size >= 1024);
+  let small = List.init 64 (fun i -> 8 * (i + 1)) in
+  let large = pow2_run ~from:1024 ~max_size in
+  of_sizes ~name:"fine" (Array.of_list (small @ large))

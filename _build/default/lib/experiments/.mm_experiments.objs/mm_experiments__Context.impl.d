@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Core Hashtbl Mm_cachesim Mm_runtime Mm_workload Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Mm_cachesim Mm_runtime Mm_workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Context Core Float List Mm_cachesim Mm_runtime Mm_stats Mm_workload Printf

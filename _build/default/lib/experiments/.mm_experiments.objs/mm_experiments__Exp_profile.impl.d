@@ -1,0 +1,1 @@
+lib/experiments/exp_profile.ml: Context List Mm_cachesim Mm_runtime Mm_stats Mm_workload Paper_data Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_ruby.ml: Context List Mm_cachesim Mm_runtime Mm_stats Paper_data Printf

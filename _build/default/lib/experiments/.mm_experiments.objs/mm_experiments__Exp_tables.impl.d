@@ -1,0 +1,1 @@
+lib/experiments/exp_tables.ml: Context Core List Mm_baselines Mm_cachesim Mm_runtime Mm_stats Mm_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_throughput.ml: Context List Mm_cachesim Mm_runtime Mm_stats Mm_workload Option Paper_data Printf

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Context Exp_ablation Exp_profile Exp_ruby Exp_tables Exp_throughput List Printf

@@ -1,0 +1,127 @@
+module Engine = Mm_runtime.Engine
+module Factory = Mm_runtime.Alloc_factory
+module Machine = Mm_cachesim.Machine
+module Perf = Mm_cachesim.Perf_model
+module Spec = Mm_workload.Spec
+
+type key = {
+  k_machine : string;
+  k_cores : int;
+  k_kind : string;
+  k_spec : string;
+  k_restart : int option;
+  k_large_pages : bool;
+  k_ruby : bool;
+  k_measure : int;
+}
+
+type t = {
+  scale : float;
+  seed : int;
+  cache : (key, Engine.measurement) Hashtbl.t;
+}
+
+let create ?(scale = 0.25) ?(seed = 42) () =
+  assert (scale > 0.0 && scale <= 1.0);
+  { scale; seed; cache = Hashtbl.create 64 }
+
+let scale t = t.scale
+
+(* DDmalloc as the paper ran it: large pages and the §3.3 metadata
+   staggering on Niagara; stock configuration on Xeon (the paper disabled
+   Xeon large pages for fairness against the default allocator). *)
+let dd_kind_for (machine : Machine.t) =
+  if machine.Machine.name = "niagara" then
+    Factory.Dd
+      (Some
+         (Core.Ddmalloc.config ~pid_metadata_offset:true ~large_pages:true ()))
+  else Factory.Dd None
+
+let php_kinds = [ Factory.Php_default; Factory.Region; Factory.Dd None ]
+
+let ruby_kinds =
+  [ Factory.Glibc; Factory.Hoard; Factory.Tcmalloc; Factory.Dd None ]
+
+let heap_large_pages (machine : Machine.t) =
+  machine.Machine.name = "niagara"
+
+(* Cache keys must distinguish allocator *configurations*, not just
+   families — the ablations sweep DDmalloc's parameters. *)
+let kind_key = function
+  | Factory.Dd (Some c) ->
+    Printf.sprintf "ddmalloc/%d/%d/%s.%d/%b/%b/%s"
+      c.Core.Ddmalloc.segment_size c.Core.Ddmalloc.arena_size
+      (Core.Size_class.name c.Core.Ddmalloc.scheme)
+      (Core.Size_class.class_count c.Core.Ddmalloc.scheme)
+      c.Core.Ddmalloc.pid_metadata_offset c.Core.Ddmalloc.large_pages
+      (match c.Core.Ddmalloc.reuse with
+      | Core.Ddmalloc.Lifo -> "lifo"
+      | Core.Ddmalloc.Fifo -> "fifo"
+      | Core.Ddmalloc.Addr_ordered -> "addr")
+  | other -> Factory.kind_name other
+
+let memo t key compute =
+  match Hashtbl.find_opt t.cache key with
+  | Some m -> m
+  | None ->
+    let m = compute () in
+    Hashtbl.add t.cache key m;
+    m
+
+let run_php t ~machine ~cores ~kind ~spec ?large_pages_override () =
+  let kind =
+    match kind with
+    | Factory.Dd None -> dd_kind_for machine
+    | other -> other
+  in
+  let large_pages =
+    Option.value large_pages_override ~default:(heap_large_pages machine)
+  in
+  let key =
+    {
+      k_machine = machine.Machine.name;
+      k_cores = cores;
+      k_kind = kind_key kind ^ (if large_pages then "+lp" else "");
+      k_spec = spec.Spec.name;
+      k_restart = None;
+      k_large_pages = large_pages;
+      k_ruby = false;
+      k_measure = 0;
+    }
+  in
+  memo t key (fun () ->
+      let cfg =
+        Engine.config ~machine ~active_cores:cores ~kind ~spec ~scale:t.scale
+          ~large_page_heap:large_pages ~seed:t.seed ()
+      in
+      Engine.run cfg)
+
+let run_ruby t ~kind ~restart_period ~measure_txns =
+  let machine = Machine.xeon in
+  let spec = Spec.rails in
+  let key =
+    {
+      k_machine = machine.Machine.name;
+      k_cores = 8;
+      k_kind = Factory.kind_name kind;
+      k_spec = spec.Spec.name;
+      k_restart = restart_period;
+      k_large_pages = false;
+      k_ruby = true;
+      k_measure = measure_txns;
+    }
+  in
+  memo t key (fun () ->
+      let cfg =
+        Engine.config ~machine ~active_cores:8 ~kind ~spec ~scale:t.scale
+          ~seed:t.seed ~restart_period ~measure_txns ~processes:4
+          ~warmup_txns:(Stdlib.max 8 (measure_txns / 8))
+          ~use_bulk_free:false ()
+      in
+      Engine.run cfg)
+
+let mgmt_fraction (m : Engine.measurement) =
+  let p = m.Engine.perf in
+  p.Perf.breakdown.Perf.mgmt_cycles /. p.Perf.cycles_per_txn
+
+let delta_pct v baseline = (v -. baseline) /. baseline *. 100.0

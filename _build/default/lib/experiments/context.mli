@@ -1,0 +1,55 @@
+(** Shared execution context for the experiment drivers.
+
+    Several of the paper's tables and figures are views over the same set
+    of simulation runs (Figure 5, Figure 6, Figure 8, Figure 9 and Table 4
+    all read the 8-core profiles), so the context memoizes measurements by
+    configuration.  It also encodes the platform conventions the paper
+    used: 4 MB pages on Niagara for everything, small pages on Xeon unless
+    an experiment asks otherwise, and DDmalloc's §3.3 metadata staggering
+    on Niagara, where hardware threads share the L1. *)
+
+type t
+
+val create : ?scale:float -> ?seed:int -> unit -> t
+(** [scale] applies to every per-transaction call count (default 0.25 —
+    see EXPERIMENTS.md for the scaling policy); results are reported at
+    full-transaction equivalents. *)
+
+val scale : t -> float
+
+val php_kinds : Mm_runtime.Alloc_factory.kind list
+(** The paper's three PHP-runtime allocators: default, region, DDmalloc. *)
+
+val ruby_kinds : Mm_runtime.Alloc_factory.kind list
+(** §4.4's four allocators: glibc, Hoard, TCmalloc, DDmalloc. *)
+
+val dd_kind_for : Mm_cachesim.Machine.t -> Mm_runtime.Alloc_factory.kind
+(** DDmalloc configured as the paper ran it on this machine. *)
+
+val run_php :
+  t ->
+  machine:Mm_cachesim.Machine.t ->
+  cores:int ->
+  kind:Mm_runtime.Alloc_factory.kind ->
+  spec:Mm_workload.Spec.t ->
+  ?large_pages_override:bool ->
+  unit ->
+  Mm_runtime.Engine.measurement
+(** Memoized PHP-runtime run (freeAll at each transaction end). *)
+
+val run_ruby :
+  t ->
+  kind:Mm_runtime.Alloc_factory.kind ->
+  restart_period:int option ->
+  measure_txns:int ->
+  Mm_runtime.Engine.measurement
+(** Ruby-runtime run on 8 Xeon cores: no freeAll; optional periodic
+    process restarts (period counted per worker).  Four workers are
+    simulated so restart effects land inside the measured window.
+    Memoized. *)
+
+val mgmt_fraction : Mm_runtime.Engine.measurement -> float
+(** Share of per-transaction CPU time spent in memory management. *)
+
+val delta_pct : float -> float -> float
+(** [delta_pct v baseline] = (v - baseline) / baseline * 100. *)

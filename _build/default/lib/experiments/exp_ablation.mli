@@ -1,0 +1,26 @@
+(** Ablations of DDmalloc's design choices (§3.2–§3.3 of the paper).
+
+    The paper reports choosing its parameters "based on our measurements";
+    these sweeps regenerate exactly those trade-off measurements. *)
+
+val segment_size : Context.t -> unit
+(** §3.2: segment size 8 KB..128 KB vs throughput and memory consumption
+    (larger segments cut per-segment management work but grow the
+    footprint and cache pressure; 32 KB is the paper's pick). *)
+
+val size_classes : Context.t -> unit
+(** §3.2: the paper's size-class map vs pure powers of two vs fine ×8
+    classes — internal fragmentation against mapping cost. *)
+
+val metadata_offset : Context.t -> unit
+(** §3.3 optimization 1: staggering metadata placement by process id on
+    Niagara, where four hardware threads share one small L1. *)
+
+val large_pages : Context.t -> unit
+(** §3.3 optimization 2: large pages for DDmalloc's heap on Xeon (the
+    paper: +11.7% max over the default allocator, D-TLB misses −60%). *)
+
+val reuse_policy : Context.t -> unit
+(** §3.2's LIFO reuse against FIFO and address-ordered free lists —
+    address order is a defragmentation-flavoured policy whose cost shows
+    why DDmalloc dodges it. *)

@@ -1,0 +1,14 @@
+(** The hardware-profile results: Figures 6, 8, and 9. *)
+
+val fig6 : Context.t -> unit
+(** Breakdown of CPU time per transaction (memory management vs others) on
+    8 Xeon cores, normalized to the default allocator. *)
+
+val fig8 : Context.t -> unit
+(** Change, relative to the default allocator, in instructions, L1I / L1D /
+    D-TLB / L2 misses and bus transactions per transaction on 8 cores of
+    both machines (averaged over the PHP workloads). *)
+
+val fig9 : Context.t -> unit
+(** Memory consumed per allocator under the paper's per-allocator
+    definitions, per workload, with the paper's average ratios. *)

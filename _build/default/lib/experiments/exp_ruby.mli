@@ -1,0 +1,18 @@
+(** §4.4 — the Ruby on Rails comparison against general-purpose
+    allocators: Figures 10, 11 and 12.
+
+    The Ruby runtime never calls [freeAll]; every allocator (including
+    DDmalloc) lives off malloc/free alone, and workers are restarted every
+    500 transactions to shed fragmentation — the paper's configuration. *)
+
+val fig10 : Context.t -> unit
+(** Throughput with glibc, Hoard, TCmalloc and DDmalloc on 8 Xeon cores. *)
+
+val fig11 : Context.t -> unit
+(** CPU-time breakdown per transaction for the same four allocators,
+    normalized to glibc. *)
+
+val fig12 : Context.t -> unit
+(** Throughput improvement from restarting workers every
+    {20, 100, 500, 2500} transactions versus never, for glibc and
+    DDmalloc. *)

@@ -1,0 +1,10 @@
+(** Table 1 (allocator taxonomy) and Table 3 (workload statistics). *)
+
+val tab1 : Context.t -> unit
+(** Print the paper's Table 1 from the allocators' declared capabilities,
+    including the prior-work rows (Reaps, obstack) and §4.4's allocators. *)
+
+val tab3 : Context.t -> unit
+(** Regenerate Table 3 by running each workload's generator and counting
+    actual malloc/free/realloc calls and mean allocation size, next to the
+    paper's figures. *)

@@ -1,0 +1,18 @@
+(** The throughput results: Figures 1, 5, 7 and Table 4. *)
+
+val fig1 : Context.t -> unit
+(** Normalized CPU time per transaction, default vs region allocator,
+    MediaWiki on 8 Xeon cores, split into memory management and the rest —
+    the paper's motivating figure. *)
+
+val fig5 : Context.t -> unit
+(** Relative throughput over the default allocator for all workloads and
+    all three allocators on 8 cores of Xeon and Niagara. *)
+
+val fig7 : Context.t -> unit
+(** MediaWiki (read-only) throughput as the number of cores grows from 1
+    to 8, on both machines — the scalability crossover figure. *)
+
+val tab4 : Context.t -> unit
+(** 1-core and 8-core throughput and the 8-core speedup for every
+    workload, allocator, and machine. *)

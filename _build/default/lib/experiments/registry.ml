@@ -1,0 +1,105 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Context.t -> unit;
+}
+
+let all =
+  [
+    {
+      id = "tab1";
+      title = "Table 1: allocation-approach taxonomy";
+      run = Exp_tables.tab1;
+    };
+    {
+      id = "tab3";
+      title = "Table 3: per-transaction allocation statistics";
+      run = Exp_tables.tab3;
+    };
+    {
+      id = "fig1";
+      title = "Figure 1: region allocator on 8 Xeon cores (motivation)";
+      run = Exp_throughput.fig1;
+    };
+    {
+      id = "fig5";
+      title = "Figure 5: relative throughput, 8 cores, both machines";
+      run = Exp_throughput.fig5;
+    };
+    {
+      id = "fig6";
+      title = "Figure 6: CPU-time breakdown on 8 Xeon cores";
+      run = Exp_profile.fig6;
+    };
+    {
+      id = "fig7";
+      title = "Figure 7: MediaWiki throughput vs number of cores";
+      run = Exp_throughput.fig7;
+    };
+    {
+      id = "tab4";
+      title = "Table 4: speedups with 8 cores";
+      run = Exp_throughput.tab4;
+    };
+    {
+      id = "fig8";
+      title = "Figure 8: hardware-event changes vs the default allocator";
+      run = Exp_profile.fig8;
+    };
+    {
+      id = "fig9";
+      title = "Figure 9: memory consumption";
+      run = Exp_profile.fig9;
+    };
+    {
+      id = "fig10";
+      title = "Figure 10: Ruby on Rails throughput (general-purpose allocators)";
+      run = Exp_ruby.fig10;
+    };
+    {
+      id = "fig11";
+      title = "Figure 11: Ruby on Rails CPU-time breakdown";
+      run = Exp_ruby.fig11;
+    };
+    {
+      id = "fig12";
+      title = "Figure 12: restart-period sweep";
+      run = Exp_ruby.fig12;
+    };
+    {
+      id = "abl-seg";
+      title = "Ablation: DDmalloc segment size (§3.2)";
+      run = Exp_ablation.segment_size;
+    };
+    {
+      id = "abl-sc";
+      title = "Ablation: DDmalloc size-class mapping (§3.2)";
+      run = Exp_ablation.size_classes;
+    };
+    {
+      id = "abl-meta";
+      title = "Ablation: pid-staggered metadata on Niagara (§3.3-1)";
+      run = Exp_ablation.metadata_offset;
+    };
+    {
+      id = "abl-lp";
+      title = "Ablation: large pages on Xeon (§3.3-2)";
+      run = Exp_ablation.large_pages;
+    };
+    {
+      id = "abl-fifo";
+      title = "Ablation: free-list reuse order";
+      run = Exp_ablation.reuse_policy;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ctx =
+  List.iter
+    (fun e ->
+      Printf.printf "### %s — %s\n\n%!" e.id e.title;
+      e.run ctx)
+    all
+
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,19 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, plus the ablations, addressable by id.  This is the
+    per-experiment index promised by DESIGN.md. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig5", "tab4", "abl-seg" *)
+  title : string;
+  run : Context.t -> unit;
+}
+
+val all : experiment list
+(** In the paper's order: tab1, tab3, fig1, fig5, fig6, fig7, tab4, fig8,
+    fig9, fig10, fig11, fig12, then the ablations. *)
+
+val find : string -> experiment option
+
+val run_all : Context.t -> unit
+
+val ids : string list

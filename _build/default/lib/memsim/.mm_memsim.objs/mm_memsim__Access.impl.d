@@ -1,0 +1,1 @@
+lib/memsim/access.ml: Format

@@ -1,0 +1,1 @@
+lib/memsim/memory.ml: Access Bytes Char Fun Hashtbl Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/memsim/memory.mli: Access

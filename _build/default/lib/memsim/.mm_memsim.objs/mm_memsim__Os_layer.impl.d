@@ -1,0 +1,1 @@
+lib/memsim/os_layer.ml: Access Hashtbl List Memory Option

@@ -1,0 +1,1 @@
+lib/memsim/os_layer.mli: Memory

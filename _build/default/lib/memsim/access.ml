@@ -1,0 +1,28 @@
+type context =
+  | Mgmt
+  | App
+  | Kernel
+
+type kind =
+  | Load
+  | Store
+
+type t = {
+  context : context;
+  kind : kind;
+  addr : int;
+  bytes : int;
+}
+
+let context_name = function
+  | Mgmt -> "mgmt"
+  | App -> "app"
+  | Kernel -> "kernel"
+
+let kind_name = function
+  | Load -> "load"
+  | Store -> "store"
+
+let pp ppf t =
+  Format.fprintf ppf "[%s %s addr=0x%x bytes=%d]" (context_name t.context)
+    (kind_name t.kind) t.addr t.bytes

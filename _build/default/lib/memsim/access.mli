@@ -1,0 +1,27 @@
+(** Memory-access events.
+
+    Every load, store, or payload touch performed against the simulated
+    memory is described by one of these records and handed to the observer
+    installed on the {!Memory.t}.  The cache simulator is that observer; the
+    profiler attributes the resulting hits, misses, and stall cycles to the
+    access's {!context}. *)
+
+type context =
+  | Mgmt  (** inside malloc/free/realloc/freeAll — the allocator itself *)
+  | App  (** application code touching its own objects and working set *)
+  | Kernel  (** OS work: page faults, process restart, context switches *)
+
+type kind =
+  | Load
+  | Store
+
+type t = {
+  context : context;
+  kind : kind;
+  addr : int;  (** simulated byte address *)
+  bytes : int;  (** extent of the access; split per line by the observer *)
+}
+
+val context_name : context -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+let block_bits = 16
+
+let block_size = 1 lsl block_bits
+
+let block_mask = block_size - 1
+
+type t = {
+  blocks : (int, Bytes.t) Hashtbl.t;
+  mutable ctx : Access.context;
+  mutable on_access : Access.t -> unit;
+  mutable on_instr : Access.context -> int -> unit;
+  mutable on_code : Access.context -> int -> unit;
+  mutable accesses : int;
+}
+
+let nop_access (_ : Access.t) = ()
+
+let nop_count (_ : Access.context) (_ : int) = ()
+
+let create () =
+  {
+    blocks = Hashtbl.create 1024;
+    ctx = Access.App;
+    on_access = nop_access;
+    on_instr = nop_count;
+    on_code = nop_count;
+    accesses = 0;
+  }
+
+let reset t =
+  Hashtbl.reset t.blocks;
+  t.accesses <- 0
+
+let set_context t ctx = t.ctx <- ctx
+
+let context t = t.ctx
+
+let with_context t ctx f =
+  let saved = t.ctx in
+  t.ctx <- ctx;
+  Fun.protect ~finally:(fun () -> t.ctx <- saved) f
+
+let set_access_observer t f = t.on_access <- f
+
+let set_instr_observer t f = t.on_instr <- f
+
+let set_code_observer t f = t.on_code <- f
+
+let clear_observers t =
+  t.on_access <- nop_access;
+  t.on_instr <- nop_count;
+  t.on_code <- nop_count
+
+let emit t kind addr bytes =
+  t.accesses <- t.accesses + 1;
+  t.on_access { Access.context = t.ctx; kind; addr; bytes }
+
+let backing t addr =
+  let block_id = addr lsr block_bits in
+  match Hashtbl.find_opt t.blocks block_id with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make block_size '\000' in
+    Hashtbl.add t.blocks block_id b;
+    b
+
+let check_addr addr bytes =
+  assert (addr >= 0);
+  assert (bytes > 0);
+  (* Multi-byte accesses must stay within one backing block. *)
+  assert (addr lsr block_bits = (addr + bytes - 1) lsr block_bits)
+
+let load8 t ~addr =
+  check_addr addr 1;
+  emit t Access.Load addr 1;
+  match Hashtbl.find_opt t.blocks (addr lsr block_bits) with
+  | None -> 0
+  | Some b -> Char.code (Bytes.get b (addr land block_mask))
+
+let store8 t ~addr ~value =
+  check_addr addr 1;
+  emit t Access.Store addr 1;
+  Bytes.set (backing t addr) (addr land block_mask) (Char.chr (value land 0xff))
+
+let load64 t ~addr =
+  check_addr addr 8;
+  emit t Access.Load addr 8;
+  match Hashtbl.find_opt t.blocks (addr lsr block_bits) with
+  | None -> 0L
+  | Some b -> Bytes.get_int64_le b (addr land block_mask)
+
+let store64 t ~addr ~value =
+  check_addr addr 8;
+  emit t Access.Store addr 8;
+  Bytes.set_int64_le (backing t addr) (addr land block_mask) value
+
+let load_word t ~addr = Int64.to_int (load64 t ~addr)
+
+let store_word t ~addr ~value = store64 t ~addr ~value:(Int64.of_int value)
+
+let touch t ~kind ~addr ~bytes =
+  check_addr addr 1;
+  assert (bytes > 0);
+  emit t kind addr bytes
+
+let memset t ~addr ~bytes ~value =
+  assert (addr >= 0 && bytes >= 0);
+  let c = Char.chr (value land 0xff) in
+  let remaining = ref bytes in
+  let pos = ref addr in
+  while !remaining > 0 do
+    let in_block = block_size - (!pos land block_mask) in
+    let n = Stdlib.min in_block !remaining in
+    emit t Access.Store !pos n;
+    Bytes.fill (backing t !pos) (!pos land block_mask) n c;
+    pos := !pos + n;
+    remaining := !remaining - n
+  done
+
+let memcpy t ~dst ~src ~bytes =
+  assert (dst >= 0 && src >= 0 && bytes >= 0);
+  (* Copy block-fragment by block-fragment.  Unmaterialized source blocks
+     read as zero, which matches load8's behaviour; we skip the byte-copy
+     into the destination in that case unless the destination block already
+     exists (it would already be zero). *)
+  let remaining = ref bytes in
+  let s = ref src in
+  let d = ref dst in
+  while !remaining > 0 do
+    let in_src = block_size - (!s land block_mask) in
+    let in_dst = block_size - (!d land block_mask) in
+    let n = Stdlib.min (Stdlib.min in_src in_dst) !remaining in
+    emit t Access.Load !s n;
+    emit t Access.Store !d n;
+    (match Hashtbl.find_opt t.blocks (!s lsr block_bits) with
+    | Some sb ->
+      let db = backing t !d in
+      Bytes.blit sb (!s land block_mask) db (!d land block_mask) n
+    | None -> (
+      match Hashtbl.find_opt t.blocks (!d lsr block_bits) with
+      | Some db -> Bytes.fill db (!d land block_mask) n '\000'
+      | None -> ()));
+    s := !s + n;
+    d := !d + n;
+    remaining := !remaining - n
+  done
+
+let instr t n =
+  assert (n >= 0);
+  t.on_instr t.ctx n
+
+let code_touch t ~addr = t.on_code t.ctx addr
+
+let backed_bytes t = Hashtbl.length t.blocks * block_size
+
+let access_count t = t.accesses

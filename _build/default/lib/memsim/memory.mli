@@ -1,0 +1,92 @@
+(** Sparse simulated memory.
+
+    A flat 63-bit byte-addressed space, backed lazily in 64 KB blocks so a
+    256 MB region chunk costs nothing until written.  Allocators store their
+    real data structures here — free-list links threaded through dead
+    objects, boundary tags, segment metadata — so the addresses they touch
+    (and therefore their cache behaviour) are genuine, not modeled.
+
+    Three event streams flow out of a memory:
+    - data accesses ({!Access.t}) from loads, stores, and payload touches;
+    - instruction counts, charged by allocators and the workload engine;
+    - code touches (simulated instruction-fetch addresses), used by the
+      I-cache model.
+
+    All three are tagged with the current {!Access.context}, switched by the
+    runtime around allocator calls. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Drop all backing blocks and zero the statistics; observers stay. *)
+
+(** {2 Context and observers} *)
+
+val set_context : t -> Access.context -> unit
+
+val context : t -> Access.context
+
+val with_context : t -> Access.context -> (unit -> 'a) -> 'a
+(** Run the thunk under the given context, restoring the previous one. *)
+
+val set_access_observer : t -> (Access.t -> unit) -> unit
+
+val set_instr_observer : t -> (Access.context -> int -> unit) -> unit
+
+val set_code_observer : t -> (Access.context -> int -> unit) -> unit
+(** The [int] is a simulated code byte-address (for the I-cache). *)
+
+val clear_observers : t -> unit
+
+(** {2 Data accesses}
+
+    Addresses must be non-negative.  Multi-byte accesses must not cross a
+    64 KB block boundary (all allocator structures are 8-byte aligned, so
+    this never occurs in practice; it is enforced by assertion). *)
+
+val load8 : t -> addr:int -> int
+
+val store8 : t -> addr:int -> value:int -> unit
+
+val load64 : t -> addr:int -> int64
+
+val store64 : t -> addr:int -> value:int64 -> unit
+
+val load_word : t -> addr:int -> int
+(** 64-bit load narrowed to an OCaml int (addresses and sizes fit 62 bits). *)
+
+val store_word : t -> addr:int -> value:int -> unit
+
+val touch : t -> kind:Access.kind -> addr:int -> bytes:int -> unit
+(** Emit access events for a payload region without materializing backing
+    store.  This is how application reads/writes of object contents are
+    simulated cheaply. *)
+
+val memset : t -> addr:int -> bytes:int -> value:int -> unit
+(** Real stores (materializes backing); used e.g. by [calloc] zeroing. *)
+
+val memcpy : t -> dst:int -> src:int -> bytes:int -> unit
+(** Copies only bytes whose source blocks are materialized, but emits load
+    and store events for the full extent (a [realloc] copy touches every
+    line whether or not the simulator ever stored real data there). *)
+
+(** {2 Instruction accounting} *)
+
+val instr : t -> int -> unit
+(** Charge [n] executed instructions to the current context. *)
+
+val code_touch : t -> addr:int -> unit
+(** Report a simulated instruction-fetch at [addr] (I-cache model). *)
+
+(** {2 Statistics} *)
+
+val backed_bytes : t -> int
+(** Total bytes of materialized backing store (real memory used). *)
+
+val access_count : t -> int
+(** Number of access events emitted since creation/reset. *)
+
+val block_size : int
+(** Size of a backing block (64 KB). *)

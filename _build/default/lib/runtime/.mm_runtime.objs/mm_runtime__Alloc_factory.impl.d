@@ -1,0 +1,1 @@
+lib/runtime/alloc_factory.ml: Core List Mm_baselines

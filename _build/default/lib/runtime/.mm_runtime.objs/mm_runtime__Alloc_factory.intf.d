@@ -1,0 +1,1 @@
+lib/runtime/alloc_factory.mli: Core Mm_memsim

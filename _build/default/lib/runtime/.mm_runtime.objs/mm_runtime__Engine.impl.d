@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Alloc_factory Array Core Mm_cachesim Mm_memsim Mm_stats Mm_workload Option Process Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Alloc_factory Mm_cachesim Mm_stats Mm_workload

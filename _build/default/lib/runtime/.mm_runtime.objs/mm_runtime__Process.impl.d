@@ -1,0 +1,1 @@
+lib/runtime/process.ml: Alloc_factory Array Core Mm_memsim Mm_stats Mm_workload Printf Stdlib

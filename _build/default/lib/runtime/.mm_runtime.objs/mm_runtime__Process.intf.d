@@ -1,0 +1,1 @@
+lib/runtime/process.mli: Alloc_factory Core Mm_memsim Mm_stats Mm_workload

@@ -1,0 +1,182 @@
+module Memory = Mm_memsim.Memory
+module Os = Mm_memsim.Os_layer
+module Machine = Mm_cachesim.Machine
+module Cache_system = Mm_cachesim.Cache_system
+module Events = Mm_cachesim.Events
+module Perf_model = Mm_cachesim.Perf_model
+module Spec = Mm_workload.Spec
+
+type config = {
+  machine : Machine.t;
+  active_cores : int;
+  kind : Alloc_factory.kind;
+  spec : Spec.t;
+  scale : float;
+  warmup_txns : int;
+  measure_txns : int;
+  large_page_heap : bool;
+  seed : int;
+  restart_period : int option;
+  use_bulk_free : bool;
+  processes : int option;
+}
+
+(* Beyond this many multiplexed processes the marginal cache interference
+   is negligible (working sets already far exceed the caches), so we cap
+   what we simulate; throughput scaling is unaffected. *)
+let max_simulated_processes = 8
+
+let effective_processes cfg =
+  match cfg.processes with
+  | Some p -> p
+  | None ->
+    Stdlib.min max_simulated_processes
+      (Machine.processes_per_core cfg.machine ~active_cores:cfg.active_cores)
+
+let config ~machine ~active_cores ~kind ~spec ?(scale = 1.0) ?warmup_txns
+    ?measure_txns ?(large_page_heap = false) ?(seed = 42)
+    ?(restart_period = None) ?(use_bulk_free = true) ?processes () =
+  let tmp =
+    {
+      machine;
+      active_cores;
+      kind;
+      spec;
+      scale;
+      warmup_txns = 0;
+      measure_txns = 0;
+      large_page_heap;
+      seed;
+      restart_period;
+      use_bulk_free;
+      processes;
+    }
+  in
+  let procs = effective_processes tmp in
+  let warmup = Option.value warmup_txns ~default:(Stdlib.max procs 4) in
+  let measure =
+    Option.value measure_txns
+      ~default:(Stdlib.min 24 (Stdlib.max (2 * procs) 12))
+  in
+  { tmp with warmup_txns = warmup; measure_txns = measure }
+
+type measurement = {
+  cfg : config;
+  events : Events.t;
+  txns : int;
+  perf : Perf_model.result;
+  throughput : float;
+  consumption : Mm_stats.Summary.t;
+  mallocs_per_txn : float;
+  frees_per_txn : float;
+  reallocs_per_txn : float;
+  mean_alloc_size : float;
+}
+
+let context_switch_kernel_instr = 3_000
+
+let reset_handle_stats (h : Core.Allocator.handle) =
+  let s = h.Core.Allocator.h_stats in
+  s.Core.Allocator.mallocs <- 0;
+  s.Core.Allocator.frees <- 0;
+  s.Core.Allocator.reallocs <- 0;
+  s.Core.Allocator.free_alls <- 0;
+  s.Core.Allocator.bytes_requested <- 0;
+  h.Core.Allocator.h_reset_peak ()
+
+let run cfg =
+  assert (cfg.scale > 0.0 && cfg.scale <= 1.0);
+  let spec = Spec.scaled cfg.spec ~scale:cfg.scale in
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let cs =
+    Cache_system.create ~machine:cfg.machine ~active_cores:cfg.active_cores
+      ~large_page_heap:cfg.large_page_heap
+  in
+  Cache_system.attach cs mem;
+  let nprocs = effective_processes cfg in
+  let fine_grained = cfg.machine.Machine.threads_per_core > 1 in
+  let slice = if fine_grained then 6 else spec.Spec.mallocs in
+  Memory.set_context mem Mm_memsim.Access.Mgmt;
+  let procs =
+    Array.init nprocs (fun pid ->
+        Process.create ~kind:cfg.kind ~os ~mem ~spec ~pid ~seed:cfg.seed
+          ~use_bulk_free:cfg.use_bulk_free)
+  in
+  Memory.set_context mem Mm_memsim.Access.App;
+  let total_done = ref 0 in
+  let current = ref 0 in
+  let switch_to p =
+    if nprocs > 1 && not fine_grained then begin
+      (* OS context switch: kernel path plus, on x86, a TLB flush. *)
+      Memory.with_context mem Mm_memsim.Access.Kernel (fun () ->
+          Memory.instr mem context_switch_kernel_instr);
+      Cache_system.on_context_switch cs
+    end;
+    current := p
+  in
+  let run_until target =
+    while !total_done < target do
+      let p = procs.(!current) in
+      let finished_txn = Process.step p ~ops:slice in
+      if finished_txn then begin
+        incr total_done;
+        (match cfg.restart_period with
+        | Some k when Process.txns_done p mod k = 0 -> Process.restart p
+        | Some _ | None -> ())
+      end;
+      (* Round-robin; on Niagara the hardware threads interleave finely
+         with no kernel involvement. *)
+      if fine_grained || finished_txn then
+        switch_to ((!current + 1) mod nprocs)
+    done
+  in
+  (* Warmup: fill caches, TLBs, and allocator structures. *)
+  run_until cfg.warmup_txns;
+  Cache_system.reset_events cs;
+  Array.iter
+    (fun p ->
+      reset_handle_stats (Process.handle p);
+      Process.reset_measurement p)
+    procs;
+  let warmup_txns_done = !total_done in
+  run_until (warmup_txns_done + cfg.measure_txns);
+  let txns = !total_done - warmup_txns_done in
+  let events = Events.copy (Cache_system.events cs) in
+  let perf =
+    Perf_model.solve ~machine:cfg.machine ~active_cores:cfg.active_cores
+      ~events ~txns
+  in
+  let consumption = Mm_stats.Summary.create () in
+  let sum_stat f =
+    Array.fold_left
+      (fun acc p -> acc + f (Process.handle p).Core.Allocator.h_stats)
+      0 procs
+  in
+  Array.iter
+    (fun p ->
+      let peaks = Process.consumption_peaks p in
+      if Mm_stats.Summary.count peaks > 0 then
+        Mm_stats.Summary.add consumption (Mm_stats.Summary.mean peaks))
+    procs;
+  let ftxns = float_of_int txns in
+  let mallocs = sum_stat (fun s -> s.Core.Allocator.mallocs) in
+  let bytes = sum_stat (fun s -> s.Core.Allocator.bytes_requested) in
+  {
+    cfg;
+    events;
+    txns;
+    perf;
+    (* The simulated transaction is [scale] of a real one. *)
+    throughput = perf.Perf_model.throughput *. cfg.scale;
+    consumption;
+    mallocs_per_txn = float_of_int mallocs /. ftxns;
+    frees_per_txn = float_of_int (sum_stat (fun s -> s.Core.Allocator.frees)) /. ftxns;
+    reallocs_per_txn =
+      float_of_int (sum_stat (fun s -> s.Core.Allocator.reallocs)) /. ftxns;
+    mean_alloc_size =
+      (if mallocs = 0 then 0.0 else float_of_int bytes /. float_of_int mallocs);
+  }
+
+let event_per_txn m counter =
+  float_of_int (Events.total m.events counter) /. float_of_int m.txns

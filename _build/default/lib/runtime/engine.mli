@@ -1,0 +1,67 @@
+(** The measurement engine: one simulated core, scaled to the machine.
+
+    All cores in the paper's setup run statistically identical worker
+    processes, so we simulate one core faithfully — its processes
+    interleaved on its caches, with context-switch costs and (on Niagara)
+    fine-grained multithread interleaving — and let {!Mm_cachesim.Perf_model}
+    scale the measured per-transaction event profile to N cores and solve
+    the shared-bus fixed point.
+
+    A run produces both the hardware-event profile (Figures 1, 6, 8, 11)
+    and model outputs: throughput (Figures 5, 7, 10, Table 4), CPU-time
+    breakdown, bus utilization, and memory consumption (Figure 9). *)
+
+type config = {
+  machine : Mm_cachesim.Machine.t;
+  active_cores : int;
+  kind : Alloc_factory.kind;
+  spec : Mm_workload.Spec.t;
+  scale : float;  (** fraction of Table 3's per-transaction call counts *)
+  warmup_txns : int;
+  measure_txns : int;
+  large_page_heap : bool;
+  seed : int;
+  restart_period : int option;  (** Ruby runtime: restart every k txns *)
+  use_bulk_free : bool;
+      (** [false] = the Ruby runtime: never call freeAll (§4.4) *)
+  processes : int option;  (** override simulated processes on the core *)
+}
+
+val config :
+  machine:Mm_cachesim.Machine.t ->
+  active_cores:int ->
+  kind:Alloc_factory.kind ->
+  spec:Mm_workload.Spec.t ->
+  ?scale:float ->
+  ?warmup_txns:int ->
+  ?measure_txns:int ->
+  ?large_page_heap:bool ->
+  ?seed:int ->
+  ?restart_period:int option ->
+  ?use_bulk_free:bool ->
+  ?processes:int ->
+  unit ->
+  config
+(** Defaults: scale 1.0, warmup/measure sized from the process count, small
+    pages, seed 42, no restarts, processes = the machine's worker count
+    divided by active cores (capped at 8 simulated). *)
+
+type measurement = {
+  cfg : config;
+  events : Mm_cachesim.Events.t;  (** totals over the measured window *)
+  txns : int;  (** measured transactions *)
+  perf : Mm_cachesim.Perf_model.result;  (** at the simulated scale *)
+  throughput : float;
+      (** full-scale transactions/second for the whole machine *)
+  consumption : Mm_stats.Summary.t;
+      (** per-transaction peak memory consumption (Figure 9) *)
+  mallocs_per_txn : float;
+  frees_per_txn : float;
+  reallocs_per_txn : float;
+  mean_alloc_size : float;
+}
+
+val run : config -> measurement
+
+val event_per_txn : measurement -> Mm_cachesim.Events.counter -> float
+(** Whole-machine-context total of one counter, per transaction. *)

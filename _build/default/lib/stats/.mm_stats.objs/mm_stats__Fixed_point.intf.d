@@ -1,0 +1,1 @@
+lib/stats/fixed_point.mli:

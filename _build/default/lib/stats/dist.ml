@@ -1,0 +1,67 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Pareto of { scale : float; shape : float }
+  | Discrete of (float * float) array
+  | Mixture of (float * t) array
+
+let pick_weighted rng weights_of total =
+  (* Walk the cumulative weights until the uniform draw is covered. *)
+  let target = Rng.float rng *. total in
+  let n = Array.length weights_of in
+  let rec go i acc =
+    if i >= n - 1 then i
+    else
+      let acc = acc +. fst weights_of.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  go 0 0.0
+
+let rec sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform { lo; hi } -> lo +. ((hi -. lo) *. Rng.float rng)
+  | Exponential { mean } -> Rng.exponential rng ~mean
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. Rng.gaussian rng))
+  | Pareto { scale; shape } ->
+    let u = Float.max 1e-12 (Rng.float rng) in
+    scale *. (u ** (-1.0 /. shape))
+  | Discrete entries ->
+    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 entries in
+    snd entries.(pick_weighted rng entries total)
+  | Mixture components ->
+    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
+    sample (snd components.(pick_weighted rng components total)) rng
+
+let sample_size t rng ~min_bytes =
+  let v = int_of_float (Float.round (sample t rng)) in
+  if v < min_bytes then min_bytes else v
+
+let mean_estimate t rng ~samples =
+  assert (samples > 0);
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    acc := !acc +. sample t rng
+  done;
+  !acc /. float_of_int samples
+
+let zipf rng ~n ~s =
+  assert (n > 0);
+  (* Inverse-CDF on the harmonic weights via rejection-free cumulative walk is
+     O(n); instead use the standard approximation by inverting the continuous
+     Zipf CDF, which is accurate enough for working-set modeling. *)
+  if s = 1.0 then
+    let u = Rng.float rng in
+    let hn = log (float_of_int n +. 1.0) in
+    let r = int_of_float (exp (u *. hn)) - 1 in
+    if r < 0 then 0 else if r >= n then n - 1 else r
+  else
+    let u = Rng.float rng in
+    let nf = float_of_int n in
+    let one_minus_s = 1.0 -. s in
+    let hn = ((nf +. 1.0) ** one_minus_s -. 1.0) /. one_minus_s in
+    let x = ((u *. hn *. one_minus_s) +. 1.0) ** (1.0 /. one_minus_s) in
+    let r = int_of_float x - 1 in
+    if r < 0 then 0 else if r >= n then n - 1 else r

@@ -1,0 +1,10 @@
+let solve ?(max_iters = 200) ?(tolerance = 1e-9) ?(damping = 0.5) ~init f =
+  let clamp x = if x < 1e-12 then 1e-12 else x in
+  let rec go x iters =
+    if iters = 0 then x
+    else
+      let next = clamp (((1.0 -. damping) *. x) +. (damping *. f x)) in
+      let rel = Float.abs (next -. x) /. Float.max 1e-12 (Float.abs x) in
+      if rel < tolerance then next else go next (iters - 1)
+  in
+  go (clamp init) max_iters

@@ -1,0 +1,19 @@
+(** Damped fixed-point iteration.
+
+    The multicore performance model is self-referential: throughput
+    determines bus utilization, utilization determines effective memory
+    latency, and latency determines throughput.  The solver finds the
+    consistent operating point. *)
+
+val solve :
+  ?max_iters:int ->
+  ?tolerance:float ->
+  ?damping:float ->
+  init:float ->
+  (float -> float) ->
+  float
+(** [solve ~init f] iterates [x <- (1-d)*x + d*(f x)] until successive values
+    differ (relatively) by less than [tolerance] or [max_iters] is reached,
+    returning the final value.  Defaults: 200 iterations, 1e-9 tolerance,
+    damping 0.5.  [f] must map positives to positives for convergence in our
+    usage; the solver clamps iterates below at a tiny positive value. *)

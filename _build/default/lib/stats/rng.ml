@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: state advances by the golden gamma and the
+   result is a finalizing mix of the new state. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed64 = next_int64 t in
+  { state = seed64 }
+
+(* Non-negative 62-bit int from the top bits, avoiding sign trouble. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t ~bound =
+  assert (bound > 0);
+  next_nonneg t mod bound
+
+let int_in t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t ~bound:(hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let bool t ~p =
+  let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+  float t < p
+
+let gaussian t =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float t in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  draw ()
+
+let exponential t ~mean =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else -.mean *. log u
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t ~bound:(Array.length a))

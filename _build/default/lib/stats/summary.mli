@@ -1,0 +1,31 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Used everywhere a per-transaction or per-operation quantity is averaged:
+    constant memory, numerically stable, and exact for count/sum/min/max. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two summaries as if all observations were added to one. *)

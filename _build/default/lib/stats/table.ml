@@ -1,0 +1,94 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match column count";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  (* Drop trailing separators so grouped tables do not end in a double
+     rule. *)
+  let rec trim = function
+    | Separator :: rest -> trim rest
+    | rows -> rows
+  in
+  let rows = List.rev (trim t.rows) in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i (header, _) ->
+        let cell_width = function
+          | Cells cells -> String.length (List.nth cells i)
+          | Separator -> 0
+        in
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (cell_width row))
+          (String.length header) rows)
+      t.columns
+  in
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells cells aligns =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w cell ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  emit_cells headers (List.map (fun _ -> Left) t.columns);
+  rule ();
+  List.iter
+    (fun row ->
+      match row with
+      | Separator -> rule ()
+      | Cells cells -> emit_cells cells (List.map snd t.columns))
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_pct ?(decimals = 1) v =
+  let sign = if v >= 0.0 then "+" else "" in
+  Printf.sprintf "%s%.*f%%" sign decimals (v *. 100.0)
+
+let fmt_ratio v = Printf.sprintf "%.1fx" v
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KB" (f /. 1024.0)
+  else if n < 1024 * 1024 * 1024 then
+    Printf.sprintf "%.1f MB" (f /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2f GB" (f /. (1024.0 *. 1024.0 *. 1024.0))

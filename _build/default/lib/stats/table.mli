@@ -1,0 +1,36 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every table and figure reproduced from the paper is printed as one of
+    these, so the bench output reads like the paper's evaluation section. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append one row; the row must have exactly as many cells as columns. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing rules, padding each column to its widest cell. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Formatting helpers shared by experiment reports. *)
+
+val fmt_float : ?decimals:int -> float -> string
+
+val fmt_pct : ?decimals:int -> float -> string
+(** [fmt_pct 0.123] is ["+12.3%"]; negative values get a minus sign. *)
+
+val fmt_ratio : float -> string
+(** [fmt_ratio 6.4] is ["6.4x"]. *)
+
+val fmt_bytes : int -> string
+(** Human units: ["512 B"], ["32.0 KB"], ["4.0 MB"]... *)

@@ -1,0 +1,67 @@
+(** Workload models.
+
+    Each web application in the paper's Table 2 is modeled by the
+    allocation profile of one of its transactions: Table 3 gives the exact
+    malloc/free/realloc call counts and the mean allocation size, and the
+    remaining parameters (size-distribution shape, interpreter work between
+    allocator calls, application working-set behaviour) are calibrated so
+    that the {e default allocator alone} reproduces the paper's Figure 6
+    CPU-time breakdown and Table 4 single-core throughput.  Everything
+    comparative that the paper claims about the other allocators is then
+    emergent.
+
+    All counts are per transaction, at full paper scale; the engine can run
+    at a reduced [scale] for quick runs. *)
+
+type t = {
+  name : string;
+  paper_name : string;  (** as printed in the paper's tables *)
+  mallocs : int;  (** Table 3: malloc (incl. calloc) calls per transaction *)
+  frees : int;  (** Table 3: per-object free calls per transaction *)
+  reallocs : int;
+  mean_size : float;  (** Table 3: average allocation size, bytes *)
+  size_dist : Mm_stats.Dist.t;
+  app_instr_per_op : int;
+      (** interpreter instructions between allocator events *)
+  app_ws_bytes : int;  (** hot per-process data working set *)
+  ws_touches_per_op : int;
+  obj_touches_per_op : int;  (** re-references of live heap objects *)
+  app_code_bytes : int;  (** hot interpreter + application code footprint *)
+  code_lines_per_op : int;
+  write_fraction : float;  (** part of each new object written immediately *)
+  stream_bytes_per_op : int;
+      (** bytes of streaming I/O buffer traffic per allocation event
+          (database rows, memcached responses, generated HTML) — cold,
+          sequential, allocator-independent bus demand *)
+  lifo_depth : float;
+      (** mean stack depth (in live objects) at which per-object frees hit;
+          small = death in near-LIFO order, as interpreter temporaries do *)
+}
+
+val mediawiki_ro : t
+
+val mediawiki_rw : t
+
+val sugarcrm : t
+
+val ez_publish : t
+
+val phpbb : t
+
+val cakephp : t
+
+val specweb : t
+
+val rails : t
+(** Ruby on Rails telephone-directory application of §4.4 (same scenario as
+    CakePHP); the paper gives no Table 3 row for it, so its counts are
+    modeled after CakePHP with Ruby-object sizes. *)
+
+val php_apps : t list
+(** The seven PHP rows of Table 3, in the paper's order. *)
+
+val by_name : string -> t option
+
+val scaled : t -> scale:float -> t
+(** Multiply the per-transaction call counts by [scale] (at least 1 call
+    each); used for quick runs and unit tests. *)

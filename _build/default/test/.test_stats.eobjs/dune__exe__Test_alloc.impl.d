@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Core List Mm_baselines Mm_memsim Mm_runtime Mm_stats Printf QCheck QCheck_alcotest Stdlib

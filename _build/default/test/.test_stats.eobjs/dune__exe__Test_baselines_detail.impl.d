@@ -1,0 +1,1 @@
+test/test_baselines_detail.ml: Alcotest Core List Mm_baselines Mm_memsim Mm_runtime

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Float Gen List Mm_cachesim Mm_memsim QCheck QCheck_alcotest Stdlib

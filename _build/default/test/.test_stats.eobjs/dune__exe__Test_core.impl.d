@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core List Mm_memsim Mm_stats Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Core Float List Mm_cachesim Mm_experiments Mm_runtime Mm_stats Mm_workload Printf

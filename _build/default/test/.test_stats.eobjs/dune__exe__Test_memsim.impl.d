@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Bytes Char Core Hashtbl List Mm_memsim Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Float List Mm_cachesim Mm_memsim Mm_runtime Mm_workload Printf

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Fun Gen List Mm_stats QCheck QCheck_alcotest String

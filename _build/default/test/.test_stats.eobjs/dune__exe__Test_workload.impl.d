@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Float List Mm_memsim Mm_runtime Mm_stats Mm_workload Printf QCheck QCheck_alcotest

@@ -1,0 +1,437 @@
+(* Tests for the memory-hierarchy simulator. *)
+
+module Cache = Mm_cachesim.Cache
+module Tlb = Mm_cachesim.Tlb
+module Prefetcher = Mm_cachesim.Prefetcher
+module Events = Mm_cachesim.Events
+module Machine = Mm_cachesim.Machine
+module CS = Mm_cachesim.Cache_system
+module Perf = Mm_cachesim.Perf_model
+module Memory = Mm_memsim.Memory
+module Access = Mm_memsim.Access
+
+let is_miss = function
+  | Cache.Miss _ -> true
+  | Cache.Hit | Cache.Hit_prefetched -> false
+
+(* --- Cache --- *)
+
+let test_cache_miss_then_hit () =
+  let c = Cache.create ~sets:16 ~ways:2 in
+  Alcotest.(check bool) "first is miss" true (is_miss (Cache.access c ~line:5 ~store:false));
+  Alcotest.(check bool) "second is hit" false (is_miss (Cache.access c ~line:5 ~store:false))
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~sets:1 ~ways:2 in
+  ignore (Cache.access c ~line:1 ~store:false);
+  ignore (Cache.access c ~line:2 ~store:false);
+  ignore (Cache.access c ~line:1 ~store:false);  (* refresh 1: LRU is 2 *)
+  (match Cache.access c ~line:3 ~store:false with
+  | Cache.Miss { victim_line; _ } ->
+    Alcotest.(check int) "evicts LRU (2)" 2 victim_line
+  | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss");
+  Alcotest.(check bool) "1 still present" true (Cache.contains c ~line:1)
+
+let test_cache_dirty_writeback () =
+  let c = Cache.create ~sets:1 ~ways:1 in
+  ignore (Cache.access c ~line:1 ~store:true);
+  (match Cache.access c ~line:2 ~store:false with
+  | Cache.Miss { victim_dirty; victim_line } ->
+    Alcotest.(check bool) "victim dirty" true victim_dirty;
+    Alcotest.(check int) "victim line" 1 victim_line
+  | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss");
+  (* Clean victim: no writeback. *)
+  match Cache.access c ~line:3 ~store:false with
+  | Cache.Miss { victim_dirty; _ } ->
+    Alcotest.(check bool) "clean victim" false victim_dirty
+  | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss"
+
+let test_cache_prefetched_flag () =
+  let c = Cache.create ~sets:16 ~ways:2 in
+  ignore (Cache.insert c ~line:9);
+  (match Cache.access c ~line:9 ~store:false with
+  | Cache.Hit_prefetched -> ()
+  | Cache.Hit -> Alcotest.fail "expected Hit_prefetched"
+  | Cache.Miss _ -> Alcotest.fail "expected hit");
+  match Cache.access c ~line:9 ~store:false with
+  | Cache.Hit -> ()
+  | Cache.Hit_prefetched -> Alcotest.fail "flag must clear after first touch"
+  | Cache.Miss _ -> Alcotest.fail "expected hit"
+
+let test_cache_contains_no_lru_disturb () =
+  let c = Cache.create ~sets:1 ~ways:2 in
+  ignore (Cache.access c ~line:1 ~store:false);
+  ignore (Cache.access c ~line:2 ~store:false);
+  (* Probing 1 must not refresh it. *)
+  ignore (Cache.contains c ~line:1);
+  match Cache.access c ~line:3 ~store:false with
+  | Cache.Miss { victim_line; _ } -> Alcotest.(check int) "LRU still 1" 1 victim_line
+  | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss"
+
+let test_cache_flush () =
+  let c = Cache.create ~sets:4 ~ways:2 in
+  ignore (Cache.access c ~line:1 ~store:true);
+  Cache.flush c;
+  Alcotest.(check bool) "gone" false (Cache.contains c ~line:1)
+
+(* Reference-model property: our cache vs a naive LRU list model. *)
+let prop_cache_matches_reference =
+  QCheck.Test.make ~name:"cache matches naive LRU reference" ~count:50
+    QCheck.(pair small_int (list_of_size Gen.(int_range 50 300) (int_range 0 40)))
+    (fun (_, lines) ->
+      let sets = 4 and ways = 2 in
+      let c = Cache.create ~sets ~ways in
+      (* reference: per set, list of lines in MRU order *)
+      let reference = Array.make sets [] in
+      let ok = ref true in
+      List.iter
+        (fun line ->
+          let set = line land (sets - 1) in
+          let hit_ref = List.mem line reference.(set) in
+          let hit_sim = not (is_miss (Cache.access c ~line ~store:false)) in
+          if hit_ref <> hit_sim then ok := false;
+          let without = List.filter (( <> ) line) reference.(set) in
+          let trimmed =
+            if hit_ref then without
+            else if List.length without >= ways then
+              List.filteri (fun i _ -> i < ways - 1) without
+            else without
+          in
+          reference.(set) <- line :: trimmed)
+        lines;
+      !ok)
+
+(* --- TLB --- *)
+
+let test_tlb_basic () =
+  let t = Tlb.create ~entries:2 ~page_shift:12 in
+  Alcotest.(check bool) "first access misses" false (Tlb.access t ~addr:0x1000);
+  Alcotest.(check bool) "same page hits" true (Tlb.access t ~addr:0x1FFF);
+  Alcotest.(check bool) "other page misses" false (Tlb.access t ~addr:0x2000)
+
+let test_tlb_capacity_lru () =
+  let t = Tlb.create ~entries:2 ~page_shift:12 in
+  ignore (Tlb.access t ~addr:0x1000);
+  ignore (Tlb.access t ~addr:0x2000);
+  ignore (Tlb.access t ~addr:0x1000);  (* refresh page 1 *)
+  ignore (Tlb.access t ~addr:0x3000);  (* evicts page 2 *)
+  Alcotest.(check bool) "page 1 survived" true (Tlb.access t ~addr:0x1000);
+  Alcotest.(check bool) "page 2 evicted" false (Tlb.access t ~addr:0x2000)
+
+let test_tlb_flush () =
+  let t = Tlb.create ~entries:4 ~page_shift:12 in
+  ignore (Tlb.access t ~addr:0x1000);
+  Tlb.flush t;
+  Alcotest.(check bool) "flushed" false (Tlb.access t ~addr:0x1000)
+
+let test_tlb_large_pages () =
+  let t = Tlb.create ~entries:2 ~page_shift:21 in
+  ignore (Tlb.access t ~addr:0);
+  Alcotest.(check bool) "2 MB page spans" true (Tlb.access t ~addr:(2 * 1024 * 1024 - 1));
+  Alcotest.(check bool) "next page misses" false (Tlb.access t ~addr:(2 * 1024 * 1024))
+
+(* --- Prefetcher --- *)
+
+let test_prefetcher_stream_detection () =
+  let p = Prefetcher.create ~streams:4 ~degree:2 in
+  Alcotest.(check (list int)) "first miss: nothing" [] (Prefetcher.on_miss p ~line:100);
+  Alcotest.(check (list int)) "second sequential: prefetch ahead" [ 102; 103 ]
+    (Prefetcher.on_miss p ~line:101)
+
+let test_prefetcher_nonsequential () =
+  let p = Prefetcher.create ~streams:4 ~degree:2 in
+  ignore (Prefetcher.on_miss p ~line:100);
+  Alcotest.(check (list int)) "random miss: nothing" []
+    (Prefetcher.on_miss p ~line:500)
+
+let test_prefetcher_disabled () =
+  let p = Prefetcher.create ~streams:0 ~degree:4 in
+  ignore (Prefetcher.on_miss p ~line:1);
+  Alcotest.(check (list int)) "disabled" [] (Prefetcher.on_miss p ~line:2)
+
+let test_prefetcher_page_boundary () =
+  let p = Prefetcher.create ~streams:4 ~degree:4 in
+  (* Lines 62,63 are at the end of a 4 KB page (64 lines/page). *)
+  ignore (Prefetcher.on_miss p ~line:62);
+  Alcotest.(check (list int)) "stops at page boundary" []
+    (Prefetcher.on_miss p ~line:63)
+
+(* --- Events --- *)
+
+let test_events_counting () =
+  let ev = Events.create () in
+  Events.add ev Access.Mgmt Events.L2_miss 3;
+  Events.add ev Access.App Events.L2_miss 4;
+  Events.add ev Access.App Events.Bus_fill 2;
+  Alcotest.(check int) "per ctx" 3 (Events.get ev Access.Mgmt Events.L2_miss);
+  Alcotest.(check int) "total" 7 (Events.total ev Events.L2_miss);
+  Alcotest.(check int) "bus" 2 (Events.bus_transactions ev);
+  let ev2 = Events.copy ev in
+  Events.accumulate ~into:ev2 ev;
+  Alcotest.(check int) "accumulated" 14 (Events.total ev2 Events.L2_miss);
+  Events.reset ev;
+  Alcotest.(check int) "reset" 0 (Events.total ev Events.L2_miss)
+
+(* --- Machine --- *)
+
+let test_machine_l2_sharing () =
+  let x = Machine.xeon in
+  let s1 = Machine.l2_sets_per_core x ~active_cores:1 in
+  let s8 = Machine.l2_sets_per_core x ~active_cores:8 in
+  Alcotest.(check bool) "shrinks with cores" true (s8 < s1);
+  (* One core enjoys one full 4 MB L2: 4 MB / (64 B x 16 ways). *)
+  Alcotest.(check int) "one-core share" 4096 s1;
+  Alcotest.(check int) "eight-core share" 2048 s8;
+  let n = Machine.niagara in
+  (* 3 MB / (64 B x 12 ways) = 4096 sets, for a lone core. *)
+  Alcotest.(check int) "niagara full L2 at 1 core" 4096
+    (Machine.l2_sets_per_core n ~active_cores:1);
+  Alcotest.(check bool) "pow2 sets" true
+    (let s = Machine.l2_sets_per_core n ~active_cores:8 in
+     s land (s - 1) = 0)
+
+let test_machine_processes () =
+  Alcotest.(check int) "xeon 8c" 2 (Machine.processes_per_core Machine.xeon ~active_cores:8);
+  Alcotest.(check int) "xeon 1c" 16 (Machine.processes_per_core Machine.xeon ~active_cores:1);
+  Alcotest.(check int) "niagara 8c" 6
+    (Machine.processes_per_core Machine.niagara ~active_cores:8)
+
+(* --- Cache system --- *)
+
+let make_system machine =
+  let mem = Memory.create () in
+  let cs = CS.create ~machine ~active_cores:8 ~large_page_heap:false in
+  CS.attach cs mem;
+  Memory.set_context mem Access.App;
+  (mem, cs)
+
+let test_system_hot_line () =
+  let mem, cs = make_system Machine.xeon in
+  for _ = 1 to 100 do
+    ignore (Memory.load_word mem ~addr:(1 lsl 32))
+  done;
+  let ev = CS.events cs in
+  Alcotest.(check int) "one L1D miss" 1 (Events.total ev Events.L1d_miss);
+  Alcotest.(check int) "100 loads" 100 (Events.total ev Events.Loads);
+  Alcotest.(check int) "one TLB miss" 1 (Events.total ev Events.Dtlb_miss)
+
+let test_system_stream_misses () =
+  let mem, cs = make_system Machine.niagara in
+  (* Niagara has no prefetcher: a 1024-line stream = 1024 L1D and L2 misses. *)
+  for i = 0 to 1023 do
+    Memory.touch mem ~kind:Access.Load ~addr:((1 lsl 32) + (i * 64)) ~bytes:8
+  done;
+  let ev = CS.events cs in
+  Alcotest.(check int) "L1D misses" 1024 (Events.total ev Events.L1d_miss);
+  Alcotest.(check int) "L2 misses" 1024 (Events.total ev Events.L2_miss);
+  Alcotest.(check int) "bus fills" 1024 (Events.total ev Events.Bus_fill)
+
+let test_system_prefetcher_kicks_in () =
+  let mem, cs = make_system Machine.xeon in
+  for i = 0 to 1023 do
+    Memory.touch mem ~kind:Access.Load ~addr:((1 lsl 32) + (i * 64)) ~bytes:8
+  done;
+  let ev = CS.events cs in
+  Alcotest.(check bool) "few demand L2 misses" true
+    (Events.total ev Events.L2_miss < 200);
+  Alcotest.(check bool) "prefetch fills instead" true
+    (Events.total ev Events.Bus_prefetch > 700)
+
+let test_system_context_attribution () =
+  let mem, cs = make_system Machine.xeon in
+  Memory.set_context mem Access.Mgmt;
+  ignore (Memory.load_word mem ~addr:(1 lsl 33));
+  Memory.set_context mem Access.App;
+  ignore (Memory.load_word mem ~addr:((1 lsl 33) + 8192));
+  let ev = CS.events cs in
+  Alcotest.(check int) "mgmt miss" 1 (Events.get ev Access.Mgmt Events.L1d_miss);
+  Alcotest.(check int) "app miss" 1 (Events.get ev Access.App Events.L1d_miss)
+
+let test_system_tlb_flush_on_switch () =
+  let mem, cs = make_system Machine.xeon in
+  ignore (Memory.load_word mem ~addr:(1 lsl 32));
+  CS.on_context_switch cs;
+  ignore (Memory.load_word mem ~addr:(1 lsl 32));
+  Alcotest.(check int) "two TLB misses on xeon" 2
+    (Events.total (CS.events cs) Events.Dtlb_miss);
+  let mem2, cs2 = make_system Machine.niagara in
+  ignore (Memory.load_word mem2 ~addr:(1 lsl 32));
+  CS.on_context_switch cs2;
+  ignore (Memory.load_word mem2 ~addr:(1 lsl 32));
+  Alcotest.(check int) "one TLB miss on niagara (ASIDs)" 1
+    (Events.total (CS.events cs2) Events.Dtlb_miss)
+
+let test_system_writeback_traffic () =
+  let mem, cs = make_system Machine.niagara in
+  (* Store a footprint far beyond L2, then stream it again: dirty lines
+     must be written back. *)
+  let lines = 128 * 1024 in
+  for i = 0 to lines - 1 do
+    Memory.touch mem ~kind:Access.Store ~addr:((1 lsl 32) + (i * 64)) ~bytes:8
+  done;
+  let ev = CS.events cs in
+  Alcotest.(check bool) "writebacks happened" true
+    (Events.total ev Events.Bus_writeback > lines / 2)
+
+(* --- Perf model --- *)
+
+let events_with instr l1d l2 tlb bus =
+  let ev = Events.create () in
+  Events.add ev Access.App Events.Instructions instr;
+  Events.add ev Access.App Events.L1d_miss l1d;
+  Events.add ev Access.App Events.L2_miss l2;
+  Events.add ev Access.App Events.Dtlb_miss tlb;
+  Events.add ev Access.App Events.Bus_fill bus;
+  ev
+
+let test_perf_compute_bound () =
+  let ev = events_with 1_000_000 0 0 0 0 in
+  let r = Perf.solve ~machine:Machine.xeon ~active_cores:1 ~events:ev ~txns:1 in
+  Alcotest.(check (float 1.0)) "cycles = instr x cpi" 1_000_000.0 r.Perf.cycles_per_txn;
+  Alcotest.(check (float 2.0)) "throughput" 1860.0 r.Perf.throughput
+
+let test_perf_stalls_hurt () =
+  let fast = events_with 1_000_000 0 0 0 0 in
+  let slow = events_with 1_000_000 20_000 10_000 0 10_000 in
+  let r_fast = Perf.solve ~machine:Machine.xeon ~active_cores:1 ~events:fast ~txns:1 in
+  let r_slow = Perf.solve ~machine:Machine.xeon ~active_cores:1 ~events:slow ~txns:1 in
+  Alcotest.(check bool) "misses cost cycles" true
+    (r_slow.Perf.cycles_per_txn > r_fast.Perf.cycles_per_txn)
+
+let test_perf_bus_contention_grows_with_cores () =
+  (* Heavy traffic: utilization and effective latency rise with cores. *)
+  let ev = events_with 1_000_000 120_000 100_000 0 100_000 in
+  let r1 = Perf.solve ~machine:Machine.xeon ~active_cores:1 ~events:ev ~txns:1 in
+  let r8 = Perf.solve ~machine:Machine.xeon ~active_cores:8 ~events:ev ~txns:1 in
+  Alcotest.(check bool) "rho grows" true
+    (r8.Perf.bus_utilization > r1.Perf.bus_utilization);
+  Alcotest.(check bool) "latency grows" true
+    (r8.Perf.mem_latency_eff > r1.Perf.mem_latency_eff);
+  Alcotest.(check bool) "sublinear scaling" true
+    (r8.Perf.throughput < 8.0 *. r1.Perf.throughput)
+
+let test_perf_smt_hides_stalls () =
+  (* On Niagara, a moderate stall load is fully hidden by the 4 threads:
+     throughput matches the compute-bound rate. *)
+  let compute_only = events_with 1_000_000 0 0 0 0 in
+  let with_stalls = events_with 1_000_000 10_000 5_000 0 5_000 in
+  let r0 = Perf.solve ~machine:Machine.niagara ~active_cores:1 ~events:compute_only ~txns:1 in
+  let r1 = Perf.solve ~machine:Machine.niagara ~active_cores:1 ~events:with_stalls ~txns:1 in
+  Alcotest.(check (float 1.0)) "stalls hidden by threads"
+    r0.Perf.throughput r1.Perf.throughput
+
+let test_perf_breakdown_sums () =
+  let ev = Events.create () in
+  Events.add ev Access.Mgmt Events.Instructions 300_000;
+  Events.add ev Access.App Events.Instructions 600_000;
+  Events.add ev Access.Kernel Events.Instructions 100_000;
+  let r = Perf.solve ~machine:Machine.xeon ~active_cores:1 ~events:ev ~txns:1 in
+  let b = r.Perf.breakdown in
+  Alcotest.(check (float 1.0)) "breakdown sums to wall" r.Perf.cycles_per_txn
+    (b.Perf.mgmt_cycles +. b.Perf.app_cycles +. b.Perf.kernel_cycles);
+  Alcotest.(check (float 0.01)) "mgmt share" 0.3
+    (b.Perf.mgmt_cycles /. r.Perf.cycles_per_txn)
+
+let test_perf_txns_normalization () =
+  let ev = events_with 2_000_000 0 0 0 0 in
+  let r = Perf.solve ~machine:Machine.xeon ~active_cores:1 ~events:ev ~txns:2 in
+  Alcotest.(check (float 1.0)) "per-txn cycles" 1_000_000.0 r.Perf.cycles_per_txn
+
+let prop_perf_model_consistent =
+  QCheck.Test.make ~name:"perf model: breakdown sums, throughput positive"
+    QCheck.(
+      quad (int_range 1 8)
+        (int_range 1 10_000_000)
+        (int_range 0 100_000)
+        (int_range 0 50_000))
+    (fun (cores, instr, l1d, l2) ->
+      let l2 = Stdlib.min l2 l1d in
+      let ev = events_with instr l1d l2 (l1d / 10) l2 in
+      let ok machine =
+        let r = Perf.solve ~machine ~active_cores:cores ~events:ev ~txns:1 in
+        let b = r.Perf.breakdown in
+        let sum = b.Perf.mgmt_cycles +. b.Perf.app_cycles +. b.Perf.kernel_cycles in
+        r.Perf.throughput > 0.0
+        && Float.abs (sum -. r.Perf.cycles_per_txn)
+           <= 1e-6 *. Float.max 1.0 r.Perf.cycles_per_txn
+        && r.Perf.bus_utilization >= 0.0
+        && r.Perf.bus_utilization <= 0.93
+        && r.Perf.mem_latency_eff >= machine.Machine.mem_latency -. 1e-6
+      in
+      ok Machine.xeon && ok Machine.niagara)
+
+let prop_prefetched_hit_reported_once =
+  QCheck.Test.make ~name:"prefetched line reports Hit_prefetched exactly once"
+    QCheck.(int_range 0 10_000)
+    (fun line ->
+      let c = Cache.create ~sets:64 ~ways:4 in
+      ignore (Cache.insert c ~line);
+      let first = Cache.access c ~line ~store:false in
+      let second = Cache.access c ~line ~store:false in
+      first = Cache.Hit_prefetched && second = Cache.Hit)
+
+let prop_tlb_hit_after_install =
+  QCheck.Test.make ~name:"tlb: second access to a page always hits"
+    QCheck.(int_range 0 1_000_000)
+    (fun addr ->
+      let t = Tlb.create ~entries:8 ~page_shift:12 in
+      ignore (Tlb.access t ~addr);
+      Tlb.access t ~addr)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cache_matches_reference; prop_perf_model_consistent;
+      prop_prefetched_hit_reported_once; prop_tlb_hit_after_install ]
+
+let () =
+  Alcotest.run "mm_cachesim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "dirty writeback" `Quick test_cache_dirty_writeback;
+          Alcotest.test_case "prefetched flag" `Quick test_cache_prefetched_flag;
+          Alcotest.test_case "contains neutral" `Quick test_cache_contains_no_lru_disturb;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "basic" `Quick test_tlb_basic;
+          Alcotest.test_case "capacity LRU" `Quick test_tlb_capacity_lru;
+          Alcotest.test_case "flush" `Quick test_tlb_flush;
+          Alcotest.test_case "large pages" `Quick test_tlb_large_pages;
+        ] );
+      ( "prefetcher",
+        [
+          Alcotest.test_case "stream detection" `Quick test_prefetcher_stream_detection;
+          Alcotest.test_case "non-sequential" `Quick test_prefetcher_nonsequential;
+          Alcotest.test_case "disabled" `Quick test_prefetcher_disabled;
+          Alcotest.test_case "page boundary" `Quick test_prefetcher_page_boundary;
+        ] );
+      ("events", [ Alcotest.test_case "counting" `Quick test_events_counting ]);
+      ( "machine",
+        [
+          Alcotest.test_case "L2 sharing" `Quick test_machine_l2_sharing;
+          Alcotest.test_case "processes per core" `Quick test_machine_processes;
+        ] );
+      ( "cache_system",
+        [
+          Alcotest.test_case "hot line" `Quick test_system_hot_line;
+          Alcotest.test_case "stream misses" `Quick test_system_stream_misses;
+          Alcotest.test_case "prefetcher engages" `Quick test_system_prefetcher_kicks_in;
+          Alcotest.test_case "context attribution" `Quick test_system_context_attribution;
+          Alcotest.test_case "TLB flush on switch" `Quick test_system_tlb_flush_on_switch;
+          Alcotest.test_case "writeback traffic" `Quick test_system_writeback_traffic;
+        ] );
+      ( "perf_model",
+        [
+          Alcotest.test_case "compute bound" `Quick test_perf_compute_bound;
+          Alcotest.test_case "stalls hurt" `Quick test_perf_stalls_hurt;
+          Alcotest.test_case "bus contention" `Quick test_perf_bus_contention_grows_with_cores;
+          Alcotest.test_case "SMT hides stalls" `Quick test_perf_smt_hides_stalls;
+          Alcotest.test_case "breakdown sums" `Quick test_perf_breakdown_sums;
+          Alcotest.test_case "txns normalization" `Quick test_perf_txns_normalization;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,289 @@
+(* Unit and property tests for mm_memsim: the simulated memory and the OS
+   layer that every allocator builds on. *)
+
+module Memory = Mm_memsim.Memory
+module Access = Mm_memsim.Access
+module Os = Mm_memsim.Os_layer
+
+let base = 1 lsl 32
+
+(* --- loads and stores --- *)
+
+let test_roundtrip_word () =
+  let mem = Memory.create () in
+  Memory.store_word mem ~addr:base ~value:123456789;
+  Alcotest.(check int) "word roundtrip" 123456789 (Memory.load_word mem ~addr:base)
+
+let test_roundtrip_bytes () =
+  let mem = Memory.create () in
+  Memory.store8 mem ~addr:(base + 5) ~value:0xAB;
+  Alcotest.(check int) "byte roundtrip" 0xAB (Memory.load8 mem ~addr:(base + 5));
+  Alcotest.(check int) "masked to byte" 0x01
+    (Memory.store8 mem ~addr:base ~value:0x101;
+     Memory.load8 mem ~addr:base)
+
+let test_unmaterialized_reads_zero () =
+  let mem = Memory.create () in
+  Alcotest.(check int) "untouched byte" 0 (Memory.load8 mem ~addr:(base + 999));
+  Alcotest.(check int64) "untouched word" 0L (Memory.load64 mem ~addr:base)
+
+let test_int64_roundtrip () =
+  let mem = Memory.create () in
+  Memory.store64 mem ~addr:base ~value:0x1122334455667788L;
+  Alcotest.(check int64) "int64" 0x1122334455667788L (Memory.load64 mem ~addr:base)
+
+let test_adjacent_words_independent () =
+  let mem = Memory.create () in
+  Memory.store_word mem ~addr:base ~value:1;
+  Memory.store_word mem ~addr:(base + 8) ~value:2;
+  Alcotest.(check int) "first" 1 (Memory.load_word mem ~addr:base);
+  Alcotest.(check int) "second" 2 (Memory.load_word mem ~addr:(base + 8))
+
+let test_memset () =
+  let mem = Memory.create () in
+  Memory.memset mem ~addr:(base + 3) ~bytes:100 ~value:0x7F;
+  Alcotest.(check int) "inside" 0x7F (Memory.load8 mem ~addr:(base + 50));
+  Alcotest.(check int) "before untouched" 0 (Memory.load8 mem ~addr:(base + 2));
+  Alcotest.(check int) "after untouched" 0 (Memory.load8 mem ~addr:(base + 103))
+
+let test_memset_cross_block () =
+  let mem = Memory.create () in
+  let addr = base + Memory.block_size - 10 in
+  Memory.memset mem ~addr ~bytes:20 ~value:0x42;
+  Alcotest.(check int) "end of first block" 0x42 (Memory.load8 mem ~addr:(addr + 9));
+  Alcotest.(check int) "start of second block" 0x42
+    (Memory.load8 mem ~addr:(addr + 10))
+
+let test_memcpy () =
+  let mem = Memory.create () in
+  for i = 0 to 31 do
+    Memory.store8 mem ~addr:(base + i) ~value:(i * 3 mod 256)
+  done;
+  Memory.memcpy mem ~dst:(base + 4096) ~src:base ~bytes:32;
+  for i = 0 to 31 do
+    Alcotest.(check int)
+      (Printf.sprintf "copied byte %d" i)
+      (i * 3 mod 256)
+      (Memory.load8 mem ~addr:(base + 4096 + i))
+  done
+
+let test_memcpy_unmaterialized_source () =
+  let mem = Memory.create () in
+  Memory.store8 mem ~addr:(base + 4096) ~value:0xFF;
+  (* Source block never written: copy must produce zeros over the dst. *)
+  Memory.memcpy mem ~dst:(base + 4096) ~src:(base + 65536 * 7) ~bytes:8;
+  Alcotest.(check int) "zero-filled" 0 (Memory.load8 mem ~addr:(base + 4096))
+
+let test_reset () =
+  let mem = Memory.create () in
+  Memory.store_word mem ~addr:base ~value:5;
+  Memory.reset mem;
+  Alcotest.(check int) "cleared" 0 (Memory.load_word mem ~addr:base);
+  Alcotest.(check int) "no backing" 0 (Memory.backed_bytes mem)
+
+(* --- events and contexts --- *)
+
+let test_touch_emits_without_backing () =
+  let mem = Memory.create () in
+  let events = ref [] in
+  Memory.set_access_observer mem (fun a -> events := a :: !events);
+  Memory.touch mem ~kind:Access.Load ~addr:base ~bytes:4096;
+  Alcotest.(check int) "one event" 1 (List.length !events);
+  Alcotest.(check int) "no backing" 0 (Memory.backed_bytes mem);
+  match !events with
+  | [ a ] ->
+    Alcotest.(check int) "addr" base a.Access.addr;
+    Alcotest.(check int) "bytes" 4096 a.Access.bytes
+  | _ -> Alcotest.fail "expected one event"
+
+let test_observer_records () =
+  let mem = Memory.create () in
+  let events = ref [] in
+  Memory.set_access_observer mem (fun a -> events := a :: !events);
+  Memory.set_context mem Access.Mgmt;
+  Memory.store_word mem ~addr:base ~value:1;
+  Memory.set_context mem Access.App;
+  ignore (Memory.load_word mem ~addr:base);
+  match List.rev !events with
+  | [ store; load ] ->
+    Alcotest.(check bool) "store kind" true (store.Access.kind = Access.Store);
+    Alcotest.(check bool) "store ctx" true (store.Access.context = Access.Mgmt);
+    Alcotest.(check bool) "load kind" true (load.Access.kind = Access.Load);
+    Alcotest.(check bool) "load ctx" true (load.Access.context = Access.App)
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_with_context_restores () =
+  let mem = Memory.create () in
+  Memory.set_context mem Access.App;
+  let inside = ref Access.App in
+  Memory.with_context mem Access.Kernel (fun () -> inside := Memory.context mem);
+  Alcotest.(check bool) "inside kernel" true (!inside = Access.Kernel);
+  Alcotest.(check bool) "restored" true (Memory.context mem = Access.App)
+
+let test_with_context_restores_on_raise () =
+  let mem = Memory.create () in
+  Memory.set_context mem Access.App;
+  (try
+     Memory.with_context mem Access.Mgmt (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" true
+    (Memory.context mem = Access.App)
+
+let test_instr_observer () =
+  let mem = Memory.create () in
+  let counts = Hashtbl.create 4 in
+  Memory.set_instr_observer mem (fun ctx n ->
+      let k = Access.context_name ctx in
+      Hashtbl.replace counts k (n + Option.value ~default:0 (Hashtbl.find_opt counts k)));
+  Memory.set_context mem Access.Mgmt;
+  Memory.instr mem 10;
+  Memory.instr mem 5;
+  Memory.set_context mem Access.App;
+  Memory.instr mem 3;
+  Alcotest.(check int) "mgmt instrs" 15 (Hashtbl.find counts "mgmt");
+  Alcotest.(check int) "app instrs" 3 (Hashtbl.find counts "app")
+
+let test_code_observer () =
+  let mem = Memory.create () in
+  let addrs = ref [] in
+  Memory.set_code_observer mem (fun _ a -> addrs := a :: !addrs);
+  Core.Code_model.touch_path mem ~base:(1 lsl 41) ~offset:128 ~lines:3;
+  Alcotest.(check (list int)) "code lines"
+    [ (1 lsl 41) + 128; (1 lsl 41) + 192; (1 lsl 41) + 256 ]
+    (List.rev !addrs)
+
+let test_access_count () =
+  let mem = Memory.create () in
+  ignore (Memory.load_word mem ~addr:base);
+  Memory.store8 mem ~addr:base ~value:1;
+  Memory.touch mem ~kind:Access.Load ~addr:base ~bytes:64;
+  Alcotest.(check int) "3 accesses" 3 (Memory.access_count mem)
+
+(* --- Os layer --- *)
+
+let test_os_mmap_alignment_and_disjoint () =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let a = Os.mmap os ~owner:"a" ~bytes:1000 ~align:4096 ~large_pages:false in
+  let b = Os.mmap os ~owner:"b" ~bytes:32768 ~align:32768 ~large_pages:false in
+  Alcotest.(check int) "a aligned" 0 (a mod 4096);
+  Alcotest.(check int) "b aligned" 0 (b mod 32768);
+  Alcotest.(check bool) "disjoint" true (b >= a + 1000 || a >= b + 32768)
+
+let test_os_claimed_accounting () =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let a = Os.mmap os ~owner:"x" ~bytes:5000 ~align:64 ~large_pages:false in
+  ignore (Os.mmap os ~owner:"y" ~bytes:100 ~align:64 ~large_pages:false);
+  Alcotest.(check int) "claimed x" 5000 (Os.claimed_bytes os ~owner:"x");
+  Alcotest.(check int) "total" 5100 (Os.total_claimed os);
+  Os.munmap os ~owner:"x" ~addr:a ~bytes:5000;
+  Alcotest.(check int) "after munmap" 0 (Os.claimed_bytes os ~owner:"x")
+
+let test_os_page_size () =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let small = Os.mmap os ~owner:"s" ~bytes:8192 ~align:4096 ~large_pages:false in
+  let large = Os.mmap os ~owner:"l" ~bytes:8192 ~align:4096 ~large_pages:true in
+  Alcotest.(check int) "small pages" 4096 (Os.page_size_of os ~addr:small);
+  Alcotest.(check int) "large pages" (2 * 1024 * 1024)
+    (Os.page_size_of os ~addr:(large + 100));
+  Alcotest.(check int) "unmapped defaults small" 4096
+    (Os.page_size_of os ~addr:77)
+
+let test_os_syscall_charged_to_kernel () =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let kernel_instr = ref 0 in
+  Memory.set_instr_observer mem (fun ctx n ->
+      if ctx = Access.Kernel then kernel_instr := !kernel_instr + n);
+  Memory.set_context mem Access.Mgmt;
+  ignore (Os.mmap os ~owner:"k" ~bytes:64 ~align:64 ~large_pages:false);
+  Alcotest.(check int) "syscall cost" Os.syscall_instructions !kernel_instr;
+  Alcotest.(check bool) "context restored" true (Memory.context mem = Access.Mgmt)
+
+(* --- properties --- *)
+
+let prop_memset_matches_reference =
+  QCheck.Test.make ~name:"memset matches a Bytes reference model"
+    QCheck.(triple (int_range 0 200) (int_range 1 300) (int_range 0 255))
+    (fun (off, len, v) ->
+      let mem = Memory.create () in
+      let reference = Bytes.make 600 '\000' in
+      Memory.memset mem ~addr:(base + off) ~bytes:len ~value:v;
+      Bytes.fill reference off len (Char.chr v);
+      let ok = ref true in
+      for i = 0 to 599 do
+        if Memory.load8 mem ~addr:(base + i) <> Char.code (Bytes.get reference i)
+        then ok := false
+      done;
+      !ok)
+
+let prop_memcpy_matches_reference =
+  QCheck.Test.make ~name:"memcpy matches a Bytes reference model"
+    QCheck.(triple (int_range 0 100) (int_range 300 400) (int_range 1 150))
+    (fun (src_off, dst_off, len) ->
+      let mem = Memory.create () in
+      let reference = Bytes.make 600 '\000' in
+      for i = 0 to 199 do
+        Memory.store8 mem ~addr:(base + i) ~value:(i mod 251);
+        Bytes.set reference i (Char.chr (i mod 251))
+      done;
+      Memory.memcpy mem ~dst:(base + dst_off) ~src:(base + src_off) ~bytes:len;
+      Bytes.blit reference src_off reference dst_off len;
+      let ok = ref true in
+      for i = 0 to 599 do
+        if Memory.load8 mem ~addr:(base + i) <> Char.code (Bytes.get reference i)
+        then ok := false
+      done;
+      !ok)
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"store_word/load_word roundtrip"
+    QCheck.(pair (int_range 0 1000) (int_bound max_int))
+    (fun (slot, v) ->
+      let mem = Memory.create () in
+      let addr = base + (slot * 8) in
+      Memory.store_word mem ~addr ~value:v;
+      Memory.load_word mem ~addr = v)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_memset_matches_reference; prop_memcpy_matches_reference;
+      prop_word_roundtrip ]
+
+let () =
+  Alcotest.run "mm_memsim"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "word roundtrip" `Quick test_roundtrip_word;
+          Alcotest.test_case "byte roundtrip" `Quick test_roundtrip_bytes;
+          Alcotest.test_case "unmaterialized zero" `Quick test_unmaterialized_reads_zero;
+          Alcotest.test_case "int64 roundtrip" `Quick test_int64_roundtrip;
+          Alcotest.test_case "adjacent words" `Quick test_adjacent_words_independent;
+          Alcotest.test_case "memset" `Quick test_memset;
+          Alcotest.test_case "memset cross-block" `Quick test_memset_cross_block;
+          Alcotest.test_case "memcpy" `Quick test_memcpy;
+          Alcotest.test_case "memcpy cold source" `Quick test_memcpy_unmaterialized_source;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "touch without backing" `Quick test_touch_emits_without_backing;
+          Alcotest.test_case "observer records" `Quick test_observer_records;
+          Alcotest.test_case "with_context restores" `Quick test_with_context_restores;
+          Alcotest.test_case "with_context on raise" `Quick test_with_context_restores_on_raise;
+          Alcotest.test_case "instr observer" `Quick test_instr_observer;
+          Alcotest.test_case "code observer" `Quick test_code_observer;
+          Alcotest.test_case "access count" `Quick test_access_count;
+        ] );
+      ( "os_layer",
+        [
+          Alcotest.test_case "mmap alignment" `Quick test_os_mmap_alignment_and_disjoint;
+          Alcotest.test_case "claimed accounting" `Quick test_os_claimed_accounting;
+          Alcotest.test_case "page sizes" `Quick test_os_page_size;
+          Alcotest.test_case "syscall to kernel" `Quick test_os_syscall_charged_to_kernel;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,181 @@
+(* Tests for the measurement engine and the allocator factory. *)
+
+module Engine = Mm_runtime.Engine
+module Factory = Mm_runtime.Alloc_factory
+module Machine = Mm_cachesim.Machine
+module Events = Mm_cachesim.Events
+module Perf = Mm_cachesim.Perf_model
+module Spec = Mm_workload.Spec
+
+let quick_cfg ?(kind = Factory.Dd None) ?(cores = 2) ?(machine = Machine.xeon)
+    ?restart_period ?(use_bulk_free = true) () =
+  Engine.config ~machine ~active_cores:cores ~kind ~spec:Spec.phpbb ~scale:0.02
+    ~warmup_txns:2 ~measure_txns:6 ~processes:2 ?restart_period ~use_bulk_free
+    ()
+
+(* --- factory --- *)
+
+let test_factory_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      match Factory.of_name (Factory.kind_name kind) with
+      | None -> Alcotest.failf "of_name failed for %s" (Factory.kind_name kind)
+      | Some k ->
+        Alcotest.(check string) "roundtrip" (Factory.kind_name kind)
+          (Factory.kind_name k))
+    Factory.all_kinds
+
+let test_factory_code_bases_distinct () =
+  let bases = List.map Factory.code_base Factory.all_kinds in
+  let sorted = List.sort_uniq compare bases in
+  Alcotest.(check int) "all distinct" (List.length bases) (List.length sorted);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "above app code" true (b >= Factory.app_code_base))
+    bases
+
+(* --- engine --- *)
+
+let test_engine_runs_and_measures () =
+  let m = Engine.run (quick_cfg ()) in
+  Alcotest.(check int) "measured txns" 6 m.Engine.txns;
+  Alcotest.(check bool) "throughput positive" true (m.Engine.throughput > 0.0);
+  Alcotest.(check bool) "instructions recorded" true
+    (Events.total m.Engine.events Events.Instructions > 0);
+  Alcotest.(check bool) "mallocs per txn close to spec" true
+    (let expected =
+       float_of_int (Spec.scaled Spec.phpbb ~scale:0.02).Spec.mallocs
+     in
+     Float.abs (m.Engine.mallocs_per_txn -. expected) < 2.0)
+
+let test_engine_determinism () =
+  let run () =
+    let m = Engine.run (quick_cfg ()) in
+    ( m.Engine.throughput,
+      Events.total m.Engine.events Events.L1d_miss,
+      Events.total m.Engine.events Events.L2_miss )
+  in
+  Alcotest.(check bool) "same seed, same result" true (run () = run ())
+
+let test_engine_seed_sensitivity () =
+  let with_seed seed =
+    let cfg = quick_cfg () in
+    Engine.run { cfg with Engine.seed }
+  in
+  let a = with_seed 1 and b = with_seed 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Events.total a.Engine.events Events.L1d_miss
+    <> Events.total b.Engine.events Events.L1d_miss)
+
+let test_engine_all_allocators_run () =
+  List.iter
+    (fun kind ->
+      let use_bulk_free =
+        (* glibc/hoard/tcmalloc have no freeAll: run them in Ruby mode. *)
+        match kind with
+        | Factory.Glibc | Factory.Hoard | Factory.Tcmalloc -> false
+        | _ -> true
+      in
+      let m = Engine.run (quick_cfg ~kind ~use_bulk_free ()) in
+      Alcotest.(check bool)
+        (Factory.kind_name kind ^ " runs")
+        true
+        (m.Engine.throughput > 0.0))
+    Factory.all_kinds
+
+let test_engine_niagara_runs () =
+  let m = Engine.run (quick_cfg ~machine:Machine.niagara ()) in
+  Alcotest.(check bool) "niagara runs" true (m.Engine.throughput > 0.0)
+
+let test_engine_more_cores_more_throughput () =
+  let t1 = (Engine.run (quick_cfg ~cores:1 ())).Engine.throughput in
+  let t8 = (Engine.run (quick_cfg ~cores:8 ())).Engine.throughput in
+  Alcotest.(check bool) "8 cores beat 1" true (t8 > t1 *. 3.0);
+  Alcotest.(check bool) "at most 8x" true (t8 <= t1 *. 8.2)
+
+let test_engine_scale_correction () =
+  (* Halving the scale must leave full-transaction throughput roughly
+     unchanged (same work per real transaction). *)
+  let at scale =
+    let cfg =
+      Engine.config ~machine:Machine.xeon ~active_cores:2
+        ~kind:(Factory.Dd None) ~spec:Spec.phpbb ~scale ~warmup_txns:2
+        ~measure_txns:6 ~processes:2 ()
+    in
+    (Engine.run cfg).Engine.throughput
+  in
+  let a = at 0.04 and b = at 0.02 in
+  Alcotest.(check bool)
+    (Printf.sprintf "scale-invariant-ish (%.1f vs %.1f)" a b)
+    true
+    (Float.abs (a -. b) /. a < 0.35)
+
+let test_engine_restart_mode () =
+  let kernel_instr cfg =
+    Events.get (Engine.run cfg).Engine.events Mm_memsim.Access.Kernel
+      Events.Instructions
+  in
+  let with_restarts =
+    kernel_instr
+      (quick_cfg ~kind:Factory.Glibc ~restart_period:(Some 2)
+         ~use_bulk_free:false ())
+  in
+  let without =
+    kernel_instr (quick_cfg ~kind:Factory.Glibc ~use_bulk_free:false ())
+  in
+  (* Worker reboots are kernel work: restarting every 2 transactions must
+     at least double the kernel instruction count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "restart kernel cost (%d vs %d)" with_restarts without)
+    true
+    (with_restarts > 2 * without)
+
+let test_engine_event_per_txn () =
+  let m = Engine.run (quick_cfg ()) in
+  let direct =
+    float_of_int (Events.total m.Engine.events Events.Instructions)
+    /. float_of_int m.Engine.txns
+  in
+  Alcotest.(check (float 0.001)) "event_per_txn"
+    direct
+    (Engine.event_per_txn m Events.Instructions)
+
+let test_mgmt_share_ordering () =
+  (* The paper's cost ordering must hold: region < ddmalloc < default. *)
+  let mgmt kind =
+    let m = Engine.run (quick_cfg ~kind ()) in
+    let p = m.Engine.perf in
+    p.Perf.breakdown.Perf.mgmt_cycles /. p.Perf.cycles_per_txn
+  in
+  let region = mgmt Factory.Region in
+  let dd = mgmt (Factory.Dd None) in
+  let default = mgmt Factory.Php_default in
+  Alcotest.(check bool)
+    (Printf.sprintf "region (%.3f) < dd (%.3f)" region dd)
+    true (region < dd);
+  Alcotest.(check bool)
+    (Printf.sprintf "dd (%.3f) < default (%.3f)" dd default)
+    true (dd < default)
+
+let () =
+  Alcotest.run "mm_runtime"
+    [
+      ( "factory",
+        [
+          Alcotest.test_case "names roundtrip" `Quick test_factory_names_roundtrip;
+          Alcotest.test_case "code bases distinct" `Quick test_factory_code_bases_distinct;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs and measures" `Quick test_engine_runs_and_measures;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_engine_seed_sensitivity;
+          Alcotest.test_case "all allocators" `Slow test_engine_all_allocators_run;
+          Alcotest.test_case "niagara" `Quick test_engine_niagara_runs;
+          Alcotest.test_case "cores scale" `Quick test_engine_more_cores_more_throughput;
+          Alcotest.test_case "scale correction" `Quick test_engine_scale_correction;
+          Alcotest.test_case "restart mode" `Quick test_engine_restart_mode;
+          Alcotest.test_case "event_per_txn" `Quick test_engine_event_per_txn;
+          Alcotest.test_case "mgmt share ordering" `Quick test_mgmt_share_ordering;
+        ] );
+    ]

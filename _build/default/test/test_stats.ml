@@ -1,0 +1,391 @@
+(* Unit and property tests for mm_stats. *)
+
+module Rng = Mm_stats.Rng
+module Dist = Mm_stats.Dist
+module Summary = Mm_stats.Summary
+module Table = Mm_stats.Table
+module Fixed_point = Mm_stats.Fixed_point
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ~eps name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g within %g, got %g" name expected eps actual
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_rng_split () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "split is independent" 0 !same
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng ~bound:17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create ~seed:9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng ~lo:3 ~hi:7 in
+    if v < 3 || v > 7 then Alcotest.failf "int_in out of bounds: %d" v;
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "covers range" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of [0,1): %g" v
+  done
+
+let test_rng_bool_extremes () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0" false (Rng.bool rng ~p:0.0);
+    Alcotest.(check bool) "p=1" true (Rng.bool rng ~p:1.0)
+  done
+
+let test_rng_bool_frequency () =
+  let rng = Rng.create ~seed:17 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bool rng ~p:0.3 then incr hits
+  done;
+  check_close ~eps:0.02 "p=0.3 frequency" 0.3
+    (float_of_int !hits /. float_of_int n)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:19 in
+  let s = Summary.create () in
+  for _ = 1 to 50_000 do
+    Summary.add s (Rng.gaussian rng)
+  done;
+  check_close ~eps:0.03 "gaussian mean" 0.0 (Summary.mean s);
+  check_close ~eps:0.03 "gaussian stddev" 1.0 (Summary.stddev s)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:23 in
+  let s = Summary.create () in
+  for _ = 1 to 50_000 do
+    Summary.add s (Rng.exponential rng ~mean:4.0)
+  done;
+  check_close ~eps:0.1 "exponential mean" 4.0 (Summary.mean s)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:29 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_choose_member () =
+  let rng = Rng.create ~seed:31 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng a in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) a)
+  done
+
+(* --- Dist --- *)
+
+let test_dist_constant () =
+  let rng = Rng.create ~seed:1 in
+  check_float "constant" 42.0 (Dist.sample (Dist.Constant 42.0) rng)
+
+let test_dist_uniform_range () =
+  let rng = Rng.create ~seed:2 in
+  let d = Dist.Uniform { lo = 10.0; hi = 20.0 } in
+  for _ = 1 to 1000 do
+    let v = Dist.sample d rng in
+    if v < 10.0 || v > 20.0 then Alcotest.failf "uniform out of range: %g" v
+  done
+
+let test_dist_discrete_values () =
+  let rng = Rng.create ~seed:3 in
+  let d = Dist.Discrete [| (1.0, 8.0); (2.0, 16.0); (1.0, 24.0) |] in
+  for _ = 1 to 1000 do
+    let v = Dist.sample d rng in
+    Alcotest.(check bool) "discrete value" true
+      (List.mem v [ 8.0; 16.0; 24.0 ])
+  done
+
+let test_dist_lognormal_mean () =
+  let rng = Rng.create ~seed:4 in
+  let mu = 3.0 and sigma = 0.8 in
+  let expected = exp (mu +. (sigma *. sigma /. 2.0)) in
+  let est =
+    Dist.mean_estimate (Dist.Lognormal { mu; sigma }) rng ~samples:200_000
+  in
+  check_close ~eps:(expected *. 0.05) "lognormal mean" expected est
+
+let test_dist_pareto_min () =
+  let rng = Rng.create ~seed:5 in
+  let d = Dist.Pareto { scale = 100.0; shape = 2.0 } in
+  for _ = 1 to 1000 do
+    if Dist.sample d rng < 100.0 then Alcotest.fail "pareto below scale"
+  done
+
+let test_dist_mixture_degenerate () =
+  let rng = Rng.create ~seed:6 in
+  let d = Dist.Mixture [| (0.0, Dist.Constant 1.0); (5.0, Dist.Constant 2.0) |] in
+  for _ = 1 to 200 do
+    check_float "mixture picks weighted branch" 2.0 (Dist.sample d rng)
+  done
+
+let test_dist_sample_size_min () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Dist.sample_size (Dist.Constant 1.0) rng ~min_bytes:8 in
+    Alcotest.(check int) "clamped to min" 8 v
+  done
+
+let test_dist_zipf_range_and_skew () =
+  let rng = Rng.create ~seed:8 in
+  let n = 100 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 50_000 do
+    let r = Dist.zipf rng ~n ~s:1.1 in
+    if r < 0 || r >= n then Alcotest.failf "zipf out of range: %d" r;
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (counts.(0) > counts.(n - 1));
+  Alcotest.(check bool) "rank 0 beats rank 10" true (counts.(0) > counts.(10))
+
+(* --- Summary --- *)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Summary.count s);
+  check_float "mean" 2.5 (Summary.mean s);
+  check_float "sum" 10.0 (Summary.sum s);
+  check_float "min" 1.0 (Summary.min s);
+  check_float "max" 4.0 (Summary.max s);
+  check_close ~eps:1e-9 "variance" (5.0 /. 3.0) (Summary.variance s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  check_float "empty mean" 0.0 (Summary.mean s);
+  check_float "empty variance" 0.0 (Summary.variance s)
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () and all = Summary.create () in
+  let rng = Rng.create ~seed:77 in
+  for i = 1 to 1000 do
+    let v = Rng.float rng *. 10.0 in
+    Summary.add (if i mod 2 = 0 then a else b) v;
+    Summary.add all v
+  done;
+  let m = Summary.merge a b in
+  Alcotest.(check int) "merged count" (Summary.count all) (Summary.count m);
+  check_close ~eps:1e-9 "merged mean" (Summary.mean all) (Summary.mean m);
+  check_close ~eps:1e-6 "merged variance" (Summary.variance all)
+    (Summary.variance m);
+  check_float "merged min" (Summary.min all) (Summary.min m);
+  check_float "merged max" (Summary.max all) (Summary.max m)
+
+(* --- Table --- *)
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"render me" ~columns:[ ("a", Table.Left); ("b", Table.Right) ]
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (contains_substring s "render me");
+  Alcotest.(check bool) "contains cell" true (contains_substring s "longer");
+  Alcotest.(check bool) "right-aligns numbers" true
+    (contains_substring s "| 22 |")
+
+let test_table_trailing_separator_trimmed () =
+  let t = Table.create ~title:"t" ~columns:[ ("a", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Table.add_separator t;
+  let s = Table.render t in
+  (* No double rule at the bottom: the rendered table ends with exactly one
+     rule line. *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let rec last2 = function
+    | [ a; b ] -> (a, b)
+    | _ :: rest -> last2 rest
+    | [] -> ("", "")
+  in
+  let penultimate, last = last2 lines in
+  Alcotest.(check bool) "last line is a rule" true
+    (String.length last > 0 && last.[0] = '+');
+  Alcotest.(check bool) "penultimate is the row" true
+    (String.length penultimate > 0 && penultimate.[0] = '|')
+
+let test_table_bad_row () =
+  let t = Table.create ~title:"t" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "row arity" (Invalid_argument
+    "Table.add_row: cell count does not match column count") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_formats () =
+  Alcotest.(check string) "pct" "+12.3%" (Table.fmt_pct 0.123);
+  Alcotest.(check string) "neg pct" "-5.0%" (Table.fmt_pct (-0.05));
+  Alcotest.(check string) "ratio" "6.4x" (Table.fmt_ratio 6.4);
+  Alcotest.(check string) "bytes small" "512 B" (Table.fmt_bytes 512);
+  Alcotest.(check string) "bytes kb" "32.0 KB" (Table.fmt_bytes 32768);
+  Alcotest.(check string) "bytes mb" "4.0 MB" (Table.fmt_bytes (4 * 1024 * 1024))
+
+(* --- Fixed point --- *)
+
+let test_fixed_point_linear () =
+  (* x = 0.5 x + 2 has the fixed point 4. *)
+  let v = Fixed_point.solve ~init:0.1 (fun x -> (0.5 *. x) +. 2.0) in
+  check_close ~eps:1e-6 "linear contraction" 4.0 v
+
+let test_fixed_point_constant () =
+  let v = Fixed_point.solve ~init:100.0 (fun _ -> 7.0) in
+  check_close ~eps:1e-6 "constant map" 7.0 v
+
+(* --- QCheck properties --- *)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"summary: min <= mean <= max"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.min s <= Summary.mean s +. 1e-9
+      && Summary.mean s <= Summary.max s +. 1e-9)
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"summary: merge commutes on count and mean"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.))
+        (list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let mk l =
+        let s = Summary.create () in
+        List.iter (Summary.add s) l;
+        s
+      in
+      let m1 = Summary.merge (mk xs) (mk ys) in
+      let m2 = Summary.merge (mk ys) (mk xs) in
+      Summary.count m1 = Summary.count m2
+      && Float.abs (Summary.mean m1 -. Summary.mean m2) < 1e-9)
+
+let prop_dist_positive_sizes =
+  QCheck.Test.make ~name:"sample_size respects min_bytes"
+    QCheck.(pair small_int (int_range 1 64))
+    (fun (seed, min_bytes) ->
+      let rng = Rng.create ~seed in
+      let d = Dist.Lognormal { mu = 3.0; sigma = 1.0 } in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        if Dist.sample_size d rng ~min_bytes < min_bytes then ok := false
+      done;
+      !ok)
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf stays in range"
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let r = Dist.zipf rng ~n ~s:1.0 in
+        if r < 0 || r >= n then ok := false
+      done;
+      !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_summary_bounds; prop_merge_commutes; prop_dist_positive_sizes;
+      prop_zipf_in_range ]
+
+let () =
+  Alcotest.run "mm_stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "bool frequency" `Quick test_rng_bool_frequency;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "choose member" `Quick test_rng_choose_member;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_dist_constant;
+          Alcotest.test_case "uniform range" `Quick test_dist_uniform_range;
+          Alcotest.test_case "discrete values" `Quick test_dist_discrete_values;
+          Alcotest.test_case "lognormal mean" `Quick test_dist_lognormal_mean;
+          Alcotest.test_case "pareto min" `Quick test_dist_pareto_min;
+          Alcotest.test_case "mixture degenerate" `Quick test_dist_mixture_degenerate;
+          Alcotest.test_case "sample_size min" `Quick test_dist_sample_size_min;
+          Alcotest.test_case "zipf range and skew" `Quick test_dist_zipf_range_and_skew;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "basic" `Quick test_summary_basic;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "trailing separator trimmed" `Quick
+            test_table_trailing_separator_trimmed;
+          Alcotest.test_case "bad row arity" `Quick test_table_bad_row;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "fixed_point",
+        [
+          Alcotest.test_case "linear" `Quick test_fixed_point_linear;
+          Alcotest.test_case "constant" `Quick test_fixed_point_constant;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the workload models: Table 3 fidelity and the process
+   transaction engine. *)
+
+module Spec = Mm_workload.Spec
+module Memory = Mm_memsim.Memory
+module Os = Mm_memsim.Os_layer
+module Process = Mm_runtime.Process
+module Factory = Mm_runtime.Alloc_factory
+module A = Core.Allocator
+
+let test_table3_counts_verbatim () =
+  (* The specs must carry Table 3's numbers exactly. *)
+  let expected =
+    [
+      ("mediawiki-ro", 151770, 129141, 6147, 62.1);
+      ("mediawiki-rw", 404983, 354775, 22371, 66.7);
+      ("sugarcrm", 276853, 225800, 3120, 49.3);
+      ("ez-publish", 123019, 109856, 4646, 78.6);
+      ("phpbb", 46965, 43267, 1003, 56.3);
+      ("cakephp", 99195, 82645, 3574, 68.6);
+      ("specweb", 3277, 2383, 106, 175.6);
+    ]
+  in
+  List.iter
+    (fun (name, mallocs, frees, reallocs, mean) ->
+      match Spec.by_name name with
+      | None -> Alcotest.failf "missing spec %s" name
+      | Some s ->
+        Alcotest.(check int) (name ^ " mallocs") mallocs s.Spec.mallocs;
+        Alcotest.(check int) (name ^ " frees") frees s.Spec.frees;
+        Alcotest.(check int) (name ^ " reallocs") reallocs s.Spec.reallocs;
+        Alcotest.(check (float 0.001)) (name ^ " mean size") mean s.Spec.mean_size)
+    expected
+
+let test_size_dist_mean_matches_table3 () =
+  let rng = Mm_stats.Rng.create ~seed:4242 in
+  List.iter
+    (fun spec ->
+      let est =
+        Mm_stats.Dist.mean_estimate spec.Spec.size_dist rng ~samples:300_000
+      in
+      let rel = Float.abs (est -. spec.Spec.mean_size) /. spec.Spec.mean_size in
+      if rel > 0.05 then
+        Alcotest.failf "%s: size mean %.1f deviates from %.1f by %.1f%%"
+          spec.Spec.name est spec.Spec.mean_size (100.0 *. rel))
+    Spec.php_apps
+
+let test_frees_not_exceeding_mallocs () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Spec.name ^ ": frees <= mallocs") true
+        (s.Spec.frees <= s.Spec.mallocs))
+    (Spec.php_apps @ [ Spec.rails ])
+
+let test_scaled () =
+  let s = Spec.scaled Spec.mediawiki_ro ~scale:0.1 in
+  Alcotest.(check int) "mallocs" 15177 s.Spec.mallocs;
+  Alcotest.(check int) "frees" 12914 s.Spec.frees;
+  Alcotest.(check bool) "min one realloc" true (s.Spec.reallocs >= 1)
+
+let test_by_name () =
+  Alcotest.(check bool) "finds rails" true (Spec.by_name "rails" <> None);
+  Alcotest.(check bool) "unknown" true (Spec.by_name "nope" = None)
+
+(* --- Process --- *)
+
+let run_process kind ~use_bulk_free ~spec =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let p = Process.create ~kind ~os ~mem ~spec ~pid:0 ~seed:7 ~use_bulk_free in
+  let finished = Process.step p ~ops:spec.Spec.mallocs in
+  Alcotest.(check bool) "transaction completed" true finished;
+  p
+
+let small_spec = Spec.scaled Spec.mediawiki_ro ~scale:0.02
+
+let test_process_txn_counts () =
+  let p = run_process (Factory.Dd None) ~use_bulk_free:true ~spec:small_spec in
+  let stats = (Process.handle p).A.h_stats in
+  Alcotest.(check int) "txns" 1 (Process.txns_done p);
+  (* Reallocs count toward neither malloc nor free. *)
+  Alcotest.(check int) "mallocs per txn" small_spec.Spec.mallocs stats.A.mallocs;
+  let expected_frees = small_spec.Spec.frees in
+  Alcotest.(check bool)
+    (Printf.sprintf "frees %d within 2%% of %d" stats.A.frees expected_frees)
+    true
+    (abs (stats.A.frees - expected_frees) <= (expected_frees / 50) + 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "reallocs %d close to %d" stats.A.reallocs
+       small_spec.Spec.reallocs)
+    true
+    (abs (stats.A.reallocs - small_spec.Spec.reallocs) <= 2);
+  Alcotest.(check int) "freeAll called" 1 stats.A.free_alls;
+  Alcotest.(check int) "no survivors" 0 (Process.live_objects p)
+
+let test_process_region_never_frees () =
+  let p = run_process Factory.Region ~use_bulk_free:true ~spec:small_spec in
+  let stats = (Process.handle p).A.h_stats in
+  Alcotest.(check int) "per-object frees removed" 0 stats.A.frees;
+  Alcotest.(check int) "bulk freed" 1 stats.A.free_alls
+
+let test_process_ruby_mode_drains () =
+  let p = run_process Factory.Glibc ~use_bulk_free:false ~spec:small_spec in
+  let stats = (Process.handle p).A.h_stats in
+  Alcotest.(check int) "no freeAll" 0 stats.A.free_alls;
+  (* Every malloc is matched by a free (in-txn deaths + end-of-txn sweep). *)
+  Alcotest.(check int) "all objects freed" stats.A.mallocs stats.A.frees;
+  Alcotest.(check int) "nothing live" 0 ((Process.handle p).A.h_live_objects ())
+
+let test_process_dd_ruby_mode_no_freeall () =
+  (* §4.4: even DDmalloc runs without freeAll under the Ruby runtime. *)
+  let p = run_process (Factory.Dd None) ~use_bulk_free:false ~spec:small_spec in
+  let stats = (Process.handle p).A.h_stats in
+  Alcotest.(check int) "no freeAll" 0 stats.A.free_alls;
+  Alcotest.(check int) "swept per object" stats.A.mallocs stats.A.frees
+
+let test_process_slices () =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let p =
+    Process.create ~kind:(Factory.Dd None) ~os ~mem ~spec:small_spec ~pid:0
+      ~seed:7 ~use_bulk_free:true
+  in
+  (* Stepping in small slices completes exactly one transaction after
+     mallocs ops. *)
+  let steps = ref 0 in
+  while Process.txns_done p = 0 do
+    ignore (Process.step p ~ops:100);
+    incr steps
+  done;
+  Alcotest.(check int) "slices" ((small_spec.Spec.mallocs + 99) / 100) !steps
+
+let test_process_restart () =
+  let mem = Memory.create () in
+  let os = Os.create mem in
+  let p =
+    Process.create ~kind:Factory.Glibc ~os ~mem ~spec:small_spec ~pid:0 ~seed:7
+      ~use_bulk_free:false
+  in
+  ignore (Process.step p ~ops:small_spec.Spec.mallocs);
+  Process.restart p;
+  Alcotest.(check int) "restart recorded" 1 (Process.restarts p);
+  Alcotest.(check int) "pool cleared" 0 (Process.live_objects p);
+  (* The fresh heap works. *)
+  ignore (Process.step p ~ops:small_spec.Spec.mallocs);
+  Alcotest.(check int) "second txn done" 2 (Process.txns_done p)
+
+let test_process_consumption_peaks () =
+  let p = run_process (Factory.Dd None) ~use_bulk_free:true ~spec:small_spec in
+  let peaks = Process.consumption_peaks p in
+  Alcotest.(check int) "one sample" 1 (Mm_stats.Summary.count peaks);
+  Alcotest.(check bool) "positive" true (Mm_stats.Summary.mean peaks > 0.0)
+
+let test_process_determinism () =
+  let run () =
+    let mem = Memory.create () in
+    let os = Os.create mem in
+    let p =
+      Process.create ~kind:(Factory.Dd None) ~os ~mem ~spec:small_spec ~pid:0
+        ~seed:99 ~use_bulk_free:true
+    in
+    ignore (Process.step p ~ops:small_spec.Spec.mallocs);
+    let stats = (Process.handle p).A.h_stats in
+    (stats.A.frees, stats.A.bytes_requested, Memory.access_count mem)
+  in
+  Alcotest.(check bool) "identical runs" true (run () = run ())
+
+let prop_spec_scaling_monotone =
+  QCheck.Test.make ~name:"scaled counts shrink monotonically"
+    QCheck.(float_range 0.01 1.0)
+    (fun scale ->
+      let s = Spec.scaled Spec.sugarcrm ~scale in
+      s.Spec.mallocs <= Spec.sugarcrm.Spec.mallocs
+      && s.Spec.frees <= s.Spec.mallocs + 1
+      && s.Spec.mallocs >= 1)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_spec_scaling_monotone ]
+
+let () =
+  Alcotest.run "mm_workload"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "Table 3 verbatim" `Quick test_table3_counts_verbatim;
+          Alcotest.test_case "size-dist means" `Quick test_size_dist_mean_matches_table3;
+          Alcotest.test_case "frees <= mallocs" `Quick test_frees_not_exceeding_mallocs;
+          Alcotest.test_case "scaled" `Quick test_scaled;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "transaction counts" `Quick test_process_txn_counts;
+          Alcotest.test_case "region never frees" `Quick test_process_region_never_frees;
+          Alcotest.test_case "ruby mode drains" `Quick test_process_ruby_mode_drains;
+          Alcotest.test_case "dd in ruby mode" `Quick test_process_dd_ruby_mode_no_freeall;
+          Alcotest.test_case "slices" `Quick test_process_slices;
+          Alcotest.test_case "restart" `Quick test_process_restart;
+          Alcotest.test_case "consumption peaks" `Quick test_process_consumption_peaks;
+          Alcotest.test_case "determinism" `Quick test_process_determinism;
+        ] );
+      ("properties", qcheck_cases);
+    ]
