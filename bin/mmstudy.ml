@@ -16,6 +16,22 @@ let seed_arg =
   let doc = "Random seed (every run is deterministic given the seed)." in
   Cmdliner.Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the execute stage: independent simulation \
+     configurations are planned up front and run J at a time.  Output is \
+     byte-identical at any J (measurements are memoized per configuration \
+     and each simulation is hermetic)."
+  in
+  Cmdliner.Arg.(
+    value
+    & opt int (Mm_sched.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 then Error (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs)
+  else Ok jobs
+
 let list_cmd =
   let run () =
     print_endline "Experiments (ids for `mmstudy run`):";
@@ -48,25 +64,28 @@ let run_cmd =
     Cmdliner.Arg.(
       required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run id scale seed =
-    let ctx = ctx_of ~scale ~seed in
-    if id = "all" then begin
-      Mm_experiments.Registry.run_all ctx;
-      `Ok ()
-    end
-    else
-      match Mm_experiments.Registry.find id with
-      | Some e ->
-        e.Mm_experiments.Registry.run ctx;
+  let run id scale seed jobs =
+    match check_jobs jobs with
+    | Error msg -> `Error (false, msg)
+    | Ok jobs -> (
+      let ctx = ctx_of ~scale ~seed in
+      if id = "all" then begin
+        Mm_experiments.Registry.run_all ~jobs ctx;
         `Ok ()
-      | None ->
-        `Error
-          (false, Printf.sprintf "unknown experiment %S; try `mmstudy list`" id)
+      end
+      else
+        match Mm_experiments.Registry.find id with
+        | Some e ->
+          Mm_experiments.Registry.run ~jobs ctx e;
+          `Ok ()
+        | None ->
+          `Error
+            (false, Printf.sprintf "unknown experiment %S; try `mmstudy list`" id))
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run"
        ~doc:"Run one experiment (a table or figure of the paper) or all.")
-    Cmdliner.Term.(ret (const run $ id_arg $ scale_arg $ seed_arg))
+    Cmdliner.Term.(ret (const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg))
 
 let sim_cmd =
   let machine_arg =
@@ -74,7 +93,7 @@ let sim_cmd =
     Cmdliner.Arg.(value & opt string "xeon" & info [ "machine" ] ~docv:"M" ~doc)
   in
   let cores_arg =
-    let doc = "Active cores (1-8)." in
+    let doc = "Active cores (1 to the machine's core count)." in
     Cmdliner.Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc)
   in
   let alloc_arg =
@@ -87,7 +106,7 @@ let sim_cmd =
     Cmdliner.Arg.(
       value & opt string "mediawiki-ro" & info [ "workload" ] ~docv:"W" ~doc)
   in
-  let run machine cores alloc workload scale seed =
+  let run machine cores alloc workload scale seed jobs =
     let machine_v =
       match machine with
       | "xeon" -> Some Mm_cachesim.Machine.xeon
@@ -97,16 +116,27 @@ let sim_cmd =
     match
       ( machine_v,
         Mm_runtime.Alloc_factory.of_name alloc,
-        Mm_workload.Spec.by_name workload )
+        Mm_workload.Spec.by_name workload,
+        check_jobs jobs )
     with
-    | None, _, _ -> `Error (false, "unknown machine (xeon | niagara)")
-    | _, None, _ -> `Error (false, "unknown allocator; try `mmstudy list`")
-    | _, _, None -> `Error (false, "unknown workload; try `mmstudy list`")
-    | Some machine, Some kind, Some spec ->
+    | None, _, _, _ -> `Error (false, "unknown machine (xeon | niagara)")
+    | _, None, _, _ -> `Error (false, "unknown allocator; try `mmstudy list`")
+    | _, _, None, _ -> `Error (false, "unknown workload; try `mmstudy list`")
+    | _, _, _, Error msg -> `Error (false, msg)
+    | Some machine, Some _, Some _, Ok _
+      when cores < 1 || cores > machine.Mm_cachesim.Machine.cores ->
+      `Error
+        ( false,
+          Printf.sprintf "--cores must be in 1..%d for %s (got %d)"
+            machine.Mm_cachesim.Machine.cores
+            machine.Mm_cachesim.Machine.name cores )
+    | Some machine, Some kind, Some spec, Ok jobs ->
       let ctx = ctx_of ~scale ~seed in
-      let m =
-        Mm_experiments.Context.run_php ctx ~machine ~cores ~kind ~spec ()
+      let key =
+        Mm_experiments.Context.php_key ctx ~machine ~cores ~kind ~spec ()
       in
+      Mm_experiments.Context.prefetch ctx ~jobs [ key ];
+      let m = Mm_experiments.Context.force ctx key in
       let p = m.Mm_runtime.Engine.perf in
       let module P = Mm_cachesim.Perf_model in
       let module E = Mm_cachesim.Events in
@@ -137,7 +167,7 @@ let sim_cmd =
     Cmdliner.Term.(
       ret
         (const run $ machine_arg $ cores_arg $ alloc_arg $ workload_arg
-       $ scale_arg $ seed_arg))
+       $ scale_arg $ seed_arg $ jobs_arg))
 
 let () =
   let doc =

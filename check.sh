@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 check: build, full test suite, and a determinism smoke — the
+# plan/execute/render pipeline must print byte-identical output whether
+# the execute stage runs on 1 domain or 4.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== determinism smoke: mmstudy run fig1 at -j 1 vs -j 4 =="
+out1=$(mktemp) && out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+./_build/default/bin/mmstudy.exe run fig1 --scale 0.05 -j 1 > "$out1"
+./_build/default/bin/mmstudy.exe run fig1 --scale 0.05 -j 4 > "$out4"
+if ! diff -u "$out1" "$out4"; then
+  echo "FAIL: fig1 output differs between -j 1 and -j 4" >&2
+  exit 1
+fi
+echo "byte-identical."
+
+echo "ALL CHECKS PASSED"

@@ -3,8 +3,9 @@ module Factory = Mm_runtime.Alloc_factory
 module Machine = Mm_cachesim.Machine
 module Perf = Mm_cachesim.Perf_model
 module Spec = Mm_workload.Spec
+module Pool = Mm_sched.Pool
 
-type key = {
+type id = {
   k_machine : string;
   k_cores : int;
   k_kind : string;
@@ -13,19 +14,61 @@ type key = {
   k_large_pages : bool;
   k_ruby : bool;
   k_measure : int;
+  k_scale : float;
+}
+
+type key = {
+  key_id : id;
+  compute : unit -> Engine.measurement;
+}
+
+(* One configuration being simulated right now.  Late requesters for the
+   same id block on the cell instead of recomputing. *)
+type cell = {
+  c_mutex : Mutex.t;
+  c_cond : Condition.t;
+  mutable c_state :
+    [ `Pending | `Done of Engine.measurement | `Failed of exn ];
 }
 
 type t = {
   scale : float;
   seed : int;
-  cache : (key, Engine.measurement) Hashtbl.t;
+  lock : Mutex.t;  (* guards cache, inflight, n_simulated *)
+  cache : (id, Engine.measurement) Hashtbl.t;
+  inflight : (id, cell) Hashtbl.t;
+  mutable n_simulated : int;
 }
 
 let create ?(scale = 0.25) ?(seed = 42) () =
   assert (scale > 0.0 && scale <= 1.0);
-  { scale; seed; cache = Hashtbl.create 64 }
+  {
+    scale;
+    seed;
+    lock = Mutex.create ();
+    cache = Hashtbl.create 64;
+    inflight = Hashtbl.create 8;
+    n_simulated = 0;
+  }
 
 let scale t = t.scale
+
+let simulated t =
+  Mutex.lock t.lock;
+  let n = t.n_simulated in
+  Mutex.unlock t.lock;
+  n
+
+let key_name k =
+  let i = k.key_id in
+  Printf.sprintf "%s/%dc/%s/%s%s%s%s" i.k_machine i.k_cores i.k_kind i.k_spec
+    (if i.k_large_pages then "+lp" else "")
+    (if i.k_ruby then
+       Printf.sprintf "+ruby:%s/%d"
+         (match i.k_restart with None -> "norestart" | Some p -> string_of_int p)
+         i.k_measure
+     else "")
+    (Printf.sprintf "@%g" i.k_scale)
 
 (* DDmalloc as the paper ran it: large pages and the §3.3 metadata
    staggering on Niagara; stock configuration on Xeon (the paper disabled
@@ -60,15 +103,64 @@ let kind_key = function
       | Core.Ddmalloc.Addr_ordered -> "addr")
   | other -> Factory.kind_name other
 
-let memo t key compute =
-  match Hashtbl.find_opt t.cache key with
-  | Some m -> m
-  | None ->
-    let m = compute () in
-    Hashtbl.add t.cache key m;
+(* Force a key: return the memoized measurement, computing it at most once
+   per process.  Concurrent requests for the same id rendezvous on an
+   in-flight cell; distinct ids simulate concurrently without holding
+   [t.lock] (safe because each Engine.run builds its own Memory,
+   Cache_system and RNGs — see lib/runtime/engine.mli). *)
+let force t key =
+  let id = key.key_id in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.cache id with
+  | Some m ->
+    Mutex.unlock t.lock;
     m
+  | None -> (
+    match Hashtbl.find_opt t.inflight id with
+    | Some cell ->
+      Mutex.unlock t.lock;
+      Mutex.lock cell.c_mutex;
+      while cell.c_state = `Pending do
+        Condition.wait cell.c_cond cell.c_mutex
+      done;
+      let state = cell.c_state in
+      Mutex.unlock cell.c_mutex;
+      (match state with
+      | `Done m -> m
+      | `Failed e -> raise e
+      | `Pending -> assert false)
+    | None ->
+      let cell =
+        {
+          c_mutex = Mutex.create ();
+          c_cond = Condition.create ();
+          c_state = `Pending;
+        }
+      in
+      Hashtbl.add t.inflight id cell;
+      Mutex.unlock t.lock;
+      let outcome =
+        try `Done (key.compute ()) with e -> `Failed e
+      in
+      Mutex.lock t.lock;
+      Hashtbl.remove t.inflight id;
+      (match outcome with
+      | `Done m ->
+        Hashtbl.add t.cache id m;
+        t.n_simulated <- t.n_simulated + 1
+      | `Failed _ -> ());
+      Mutex.unlock t.lock;
+      Mutex.lock cell.c_mutex;
+      cell.c_state <- outcome;
+      Condition.broadcast cell.c_cond;
+      Mutex.unlock cell.c_mutex;
+      (match outcome with
+      | `Done m -> m
+      | `Failed e -> raise e
+      | `Pending -> assert false))
 
-let run_php t ~machine ~cores ~kind ~spec ?large_pages_override () =
+let php_key t ~machine ~cores ~kind ~spec ?large_pages_override ?scale_override
+    () =
   let kind =
     match kind with
     | Factory.Dd None -> dd_kind_for machine
@@ -77,7 +169,8 @@ let run_php t ~machine ~cores ~kind ~spec ?large_pages_override () =
   let large_pages =
     Option.value large_pages_override ~default:(heap_large_pages machine)
   in
-  let key =
+  let scale = Option.value scale_override ~default:t.scale in
+  let id =
     {
       k_machine = machine.Machine.name;
       k_cores = cores;
@@ -87,19 +180,22 @@ let run_php t ~machine ~cores ~kind ~spec ?large_pages_override () =
       k_large_pages = large_pages;
       k_ruby = false;
       k_measure = 0;
+      k_scale = scale;
     }
   in
-  memo t key (fun () ->
-      let cfg =
-        Engine.config ~machine ~active_cores:cores ~kind ~spec ~scale:t.scale
-          ~large_page_heap:large_pages ~seed:t.seed ()
-      in
-      Engine.run cfg)
+  let compute () =
+    let cfg =
+      Engine.config ~machine ~active_cores:cores ~kind ~spec ~scale
+        ~large_page_heap:large_pages ~seed:t.seed ()
+    in
+    Engine.run cfg
+  in
+  { key_id = id; compute }
 
-let run_ruby t ~kind ~restart_period ~measure_txns =
+let ruby_key t ~kind ~restart_period ~measure_txns =
   let machine = Machine.xeon in
   let spec = Spec.rails in
-  let key =
+  let id =
     {
       k_machine = machine.Machine.name;
       k_cores = 8;
@@ -109,16 +205,52 @@ let run_ruby t ~kind ~restart_period ~measure_txns =
       k_large_pages = false;
       k_ruby = true;
       k_measure = measure_txns;
+      k_scale = t.scale;
     }
   in
-  memo t key (fun () ->
-      let cfg =
-        Engine.config ~machine ~active_cores:8 ~kind ~spec ~scale:t.scale
-          ~seed:t.seed ~restart_period ~measure_txns ~processes:4
-          ~warmup_txns:(Stdlib.max 8 (measure_txns / 8))
-          ~use_bulk_free:false ()
-      in
-      Engine.run cfg)
+  let compute () =
+    let cfg =
+      Engine.config ~machine ~active_cores:8 ~kind ~spec ~scale:t.scale
+        ~seed:t.seed ~restart_period ~measure_txns ~processes:4
+        ~warmup_txns:(Stdlib.max 8 (measure_txns / 8))
+        ~use_bulk_free:false ()
+    in
+    Engine.run cfg
+  in
+  { key_id = id; compute }
+
+let run_php t ~machine ~cores ~kind ~spec ?large_pages_override () =
+  force t (php_key t ~machine ~cores ~kind ~spec ?large_pages_override ())
+
+let run_ruby t ~kind ~restart_period ~measure_txns =
+  force t (ruby_key t ~kind ~restart_period ~measure_txns)
+
+let dedup_keys keys =
+  let seen = Hashtbl.create (List.length keys) in
+  List.filter
+    (fun k ->
+      if Hashtbl.mem seen k.key_id then false
+      else begin
+        Hashtbl.add seen k.key_id ();
+        true
+      end)
+    keys
+
+let prefetch t ~jobs keys =
+  let keys = dedup_keys keys in
+  (* Skip configurations already memoized so repeated prefetches are
+     cheap; [force] re-checks under the lock, this is only an early cut. *)
+  let fresh =
+    List.filter
+      (fun k ->
+        Mutex.lock t.lock;
+        let hit = Hashtbl.mem t.cache k.key_id in
+        Mutex.unlock t.lock;
+        not hit)
+      keys
+  in
+  ignore
+    (Pool.run ~jobs (List.map (fun k () -> ignore (force t k)) fresh) : unit list)
 
 let mgmt_fraction (m : Engine.measurement) =
   let p = m.Engine.perf in

@@ -6,7 +6,15 @@
     configuration.  It also encodes the platform conventions the paper
     used: 4 MB pages on Niagara for everything, small pages on Xeon unless
     an experiment asks otherwise, and DDmalloc's §3.3 metadata staggering
-    on Niagara, where hardware threads share the L1. *)
+    on Niagara, where hardware threads share the L1.
+
+    The context is the execute stage of the plan → execute → render
+    pipeline and is safe to share across domains: drivers build {!key}s
+    (pure plans), {!prefetch} simulates them on a {!Mm_sched.Pool}, and
+    render passes then read the memo table.  Each configuration is
+    simulated {e at most once per process}, even when several domains
+    request it concurrently — late requesters block on the in-flight run
+    instead of recomputing. *)
 
 type t
 
@@ -26,6 +34,59 @@ val ruby_kinds : Mm_runtime.Alloc_factory.kind list
 val dd_kind_for : Mm_cachesim.Machine.t -> Mm_runtime.Alloc_factory.kind
 (** DDmalloc configured as the paper ran it on this machine. *)
 
+(** {2 Keys — planned configurations} *)
+
+type key
+(** One fully-specified simulation configuration: the memoization
+    identity plus how to run it.  Keys are cheap to build and pure —
+    nothing is simulated until {!force} or {!prefetch}. *)
+
+val key_name : key -> string
+(** Stable human-readable identity, for logs and tests. *)
+
+val php_key :
+  t ->
+  machine:Mm_cachesim.Machine.t ->
+  cores:int ->
+  kind:Mm_runtime.Alloc_factory.kind ->
+  spec:Mm_workload.Spec.t ->
+  ?large_pages_override:bool ->
+  ?scale_override:float ->
+  unit ->
+  key
+(** Plan a PHP-runtime run (freeAll at each transaction end).
+    [scale_override] lets sweeps that need a reduced transaction scale
+    (e.g. the quadratic address-ordered free-list ablation) stay inside
+    the memo table; the scale is part of the key. *)
+
+val ruby_key :
+  t ->
+  kind:Mm_runtime.Alloc_factory.kind ->
+  restart_period:int option ->
+  measure_txns:int ->
+  key
+(** Plan a Ruby-runtime run on 8 Xeon cores: no freeAll; optional
+    periodic process restarts (period counted per worker).  Four workers
+    are simulated so restart effects land inside the measured window. *)
+
+val force : t -> key -> Mm_runtime.Engine.measurement
+(** Memoized execution of one key.  Thread-safe; concurrent forces of the
+    same key run the simulation exactly once and share the result. *)
+
+val prefetch : t -> jobs:int -> key list -> unit
+(** Execute every not-yet-memoized key on a pool of [jobs] domains.
+    Duplicate keys in the list are collapsed first.  Results land in the
+    memo table; measurements are identical to sequential {!force} because
+    every simulation is hermetic (own simulated memory, caches and RNG —
+    the isolation invariant documented in [lib/runtime/engine.mli]).
+    Exceptions from simulations are re-raised after the pool drains. *)
+
+val simulated : t -> int
+(** Number of simulations actually executed so far (cache misses), for
+    dedup accounting and tests. *)
+
+(** {2 Memoized run + read (force of an equivalent key)} *)
+
 val run_php :
   t ->
   machine:Mm_cachesim.Machine.t ->
@@ -35,7 +96,7 @@ val run_php :
   ?large_pages_override:bool ->
   unit ->
   Mm_runtime.Engine.measurement
-(** Memoized PHP-runtime run (freeAll at each transaction end). *)
+(** [force] of the corresponding {!php_key}. *)
 
 val run_ruby :
   t ->
@@ -43,10 +104,7 @@ val run_ruby :
   restart_period:int option ->
   measure_txns:int ->
   Mm_runtime.Engine.measurement
-(** Ruby-runtime run on 8 Xeon cores: no freeAll; optional periodic
-    process restarts (period counted per worker).  Four workers are
-    simulated so restart effects land inside the measured window.
-    Memoized. *)
+(** [force] of the corresponding {!ruby_key}. *)
 
 val mgmt_fraction : Mm_runtime.Engine.measurement -> float
 (** Share of per-transaction CPU time spent in memory management. *)

@@ -11,6 +11,78 @@ let spec = Spec.mediawiki_ro
 let run_dd ctx ~machine ~cores config =
   Context.run_php ctx ~machine ~cores ~kind:(Factory.Dd (Some config)) ~spec ()
 
+let dd_key ctx ~machine ~cores config =
+  Context.php_key ctx ~machine ~cores ~kind:(Factory.Dd (Some config)) ~spec ()
+
+(* Plans: pure enumeration of each sweep's configurations. *)
+
+let segment_sizes = [ 8192; 16384; 32768; 65536; 131072 ]
+
+let plan_segment_size ctx =
+  List.map
+    (fun seg ->
+      dd_key ctx ~machine:Machine.xeon ~cores:8
+        (Core.Ddmalloc.config ~segment_size:seg ()))
+    segment_sizes
+
+let size_class_schemes =
+  [
+    ("paper (x8 <128, x32 <512, pow2)", Core.Size_class.paper ~max_size:16384);
+    ("powers of two only", Core.Size_class.power_of_two ~max_size:16384);
+    ("fine (x8 up to 512, pow2)", Core.Size_class.fine ~max_size:16384);
+  ]
+
+let plan_size_classes ctx =
+  List.map
+    (fun (_, scheme) ->
+      dd_key ctx ~machine:Machine.xeon ~cores:8
+        (Core.Ddmalloc.config ~scheme ()))
+    size_class_schemes
+
+let metadata_placements =
+  [ ("same offset in every process", false); ("staggered by pid (§3.3)", true) ]
+
+let plan_metadata_offset ctx =
+  List.map
+    (fun (_, offset) ->
+      dd_key ctx ~machine:Machine.niagara ~cores:8
+        (Core.Ddmalloc.config ~pid_metadata_offset:offset ~large_pages:true ()))
+    metadata_placements
+
+let plan_large_pages ctx =
+  [
+    Context.php_key ctx ~machine:Machine.xeon ~cores:8 ~kind:Factory.Php_default
+      ~spec ();
+    dd_key ctx ~machine:Machine.xeon ~cores:8 (Core.Ddmalloc.config ());
+    Context.php_key ctx ~machine:Machine.xeon ~cores:8
+      ~kind:(Factory.Dd (Some (Core.Ddmalloc.config ~large_pages:true ())))
+      ~spec ~large_pages_override:true ();
+  ]
+
+(* Address-ordered insertion is O(free-list length) per free; run this
+   sweep at a reduced transaction scale so the quadratic policy stays
+   tractable while the three policies remain directly comparable.  The
+   reduced scale is part of the memoization key, so the sweep still
+   plans/prefetches like everything else. *)
+let reuse_scale ctx = Float.min (Context.scale ctx) 0.05
+
+let reuse_policies =
+  [
+    ("LIFO (paper)", Core.Ddmalloc.Lifo);
+    ("FIFO", Core.Ddmalloc.Fifo);
+    ("address-ordered", Core.Ddmalloc.Addr_ordered);
+  ]
+
+let reuse_key ctx reuse =
+  Context.php_key ctx ~machine:Machine.xeon ~cores:8
+    ~kind:(Factory.Dd (Some (Core.Ddmalloc.config ~reuse ())))
+    ~spec
+    ~scale_override:(reuse_scale ctx)
+    ()
+
+let plan_reuse_policy ctx =
+  List.map (fun (_, reuse) -> reuse_key ctx reuse) reuse_policies
+
 let segment_size ctx =
   let t =
     Table.create
@@ -41,7 +113,7 @@ let segment_size ctx =
           Printf.sprintf "%.0f" (per_txn Events.Dtlb_miss);
           Printf.sprintf "%.0f" (per_txn Events.L2_miss);
         ])
-    [ 8192; 16384; 32768; 65536; 131072 ];
+    segment_sizes;
   Table.print t;
   print_endline
     "  (paper: larger segments cut management instructions but grow the\n\
@@ -73,11 +145,7 @@ let size_classes ctx =
                (Mm_stats.Summary.mean m.Engine.consumption
                /. Context.scale ctx));
         ])
-    [
-      ("paper (x8 <128, x32 <512, pow2)", Core.Size_class.paper ~max_size:16384);
-      ("powers of two only", Core.Size_class.power_of_two ~max_size:16384);
-      ("fine (x8 up to 512, pow2)", Core.Size_class.fine ~max_size:16384);
-    ];
+    size_class_schemes;
   Table.print t
 
 let metadata_offset ctx =
@@ -105,7 +173,7 @@ let metadata_offset ctx =
           Printf.sprintf "%.0f"
             (Engine.event_per_txn m Events.L1d_miss /. Context.scale ctx);
         ])
-    [ ("same offset in every process", false); ("staggered by pid (§3.3)", true) ];
+    metadata_placements;
   Table.print t
 
 let large_pages ctx =
@@ -166,18 +234,10 @@ let reuse_policy ctx =
           ("L2 miss/txn", Table.Right);
         ]
   in
-  (* Address-ordered insertion is O(free-list length) per free; run this
-     sweep at a reduced transaction scale so the quadratic policy stays
-     tractable while the three policies remain directly comparable. *)
-  let scale = Float.min (Context.scale ctx) 0.05 in
+  let scale = reuse_scale ctx in
   List.iter
     (fun (label, reuse) ->
-      let cfg = Core.Ddmalloc.config ~reuse () in
-      let ecfg =
-        Engine.config ~machine:Machine.xeon ~active_cores:8
-          ~kind:(Factory.Dd (Some cfg)) ~spec ~scale ()
-      in
-      let m = Engine.run ecfg in
+      let m = Context.force ctx (reuse_key ctx reuse) in
       let p = m.Engine.perf in
       Table.add_row t
         [
@@ -189,11 +249,7 @@ let reuse_policy ctx =
           Printf.sprintf "%.0f"
             (Engine.event_per_txn m Events.L2_miss /. scale);
         ])
-    [
-      ("LIFO (paper)", Core.Ddmalloc.Lifo);
-      ("FIFO", Core.Ddmalloc.Fifo);
-      ("address-ordered", Core.Ddmalloc.Addr_ordered);
-    ];
+    reuse_policies;
   Table.print t;
   print_endline
     "  (LIFO reuses cache-hot objects; address order pays a list walk per\n\

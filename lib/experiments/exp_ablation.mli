@@ -3,6 +3,15 @@
     The paper reports choosing its parameters "based on our measurements";
     these sweeps regenerate exactly those trade-off measurements. *)
 
+val plan_segment_size : Context.t -> Context.key list
+val plan_size_classes : Context.t -> Context.key list
+val plan_metadata_offset : Context.t -> Context.key list
+val plan_large_pages : Context.t -> Context.key list
+val plan_reuse_policy : Context.t -> Context.key list
+(** Pure plans for the sweeps below (the execute stage runs them).  The
+    reuse-policy sweep plans at a reduced transaction scale — part of its
+    memoization key — because address-ordered free lists are quadratic. *)
+
 val segment_size : Context.t -> unit
 (** §3.2: segment size 8 KB..128 KB vs throughput and memory consumption
     (larger segments cut per-segment management work but grow the

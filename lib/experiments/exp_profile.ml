@@ -6,6 +6,37 @@ module Engine = Mm_runtime.Engine
 module Perf = Mm_cachesim.Perf_model
 module Events = Mm_cachesim.Events
 
+(* Plans: pure enumeration of the configurations each figure reads. *)
+
+let plan_fig6 ctx =
+  List.concat_map
+    (fun spec ->
+      List.map
+        (fun kind ->
+          Context.php_key ctx ~machine:Machine.xeon ~cores:8 ~kind ~spec ())
+        Context.php_kinds)
+    Spec.php_apps
+
+let plan_fig8 ctx =
+  List.concat_map
+    (fun machine ->
+      List.concat_map
+        (fun spec ->
+          List.map
+            (fun kind -> Context.php_key ctx ~machine ~cores:8 ~kind ~spec ())
+            [ Factory.Php_default; Factory.Region; Factory.Dd None ])
+        Spec.php_apps)
+    [ Machine.xeon; Machine.niagara ]
+
+let plan_fig9 ctx =
+  List.concat_map
+    (fun spec ->
+      List.map
+        (fun kind ->
+          Context.php_key ctx ~machine:Machine.xeon ~cores:8 ~kind ~spec ())
+        [ Factory.Php_default; Factory.Region; Factory.Dd None ])
+    Spec.php_apps
+
 let fig6 ctx =
   let t =
     Table.create

@@ -1,4 +1,11 @@
-(** The hardware-profile results: Figures 6, 8, and 9. *)
+(** The hardware-profile results: Figures 6, 8, and 9.
+
+    [plan_*] enumerate the configurations each figure reads; the renders
+    print from the memoized measurements. *)
+
+val plan_fig6 : Context.t -> Context.key list
+val plan_fig8 : Context.t -> Context.key list
+val plan_fig9 : Context.t -> Context.key list
 
 val fig6 : Context.t -> unit
 (** Breakdown of CPU time per transaction (memory management vs others) on

@@ -24,6 +24,32 @@ let run_standard ctx kind =
   Context.run_ruby ctx ~kind ~restart_period:standard_restart
     ~measure_txns:standard_measure
 
+(* Plans: pure enumeration of the configurations each figure reads. *)
+
+let plan_standard ctx =
+  List.map
+    (fun kind ->
+      Context.ruby_key ctx ~kind ~restart_period:standard_restart
+        ~measure_txns:standard_measure)
+    Context.ruby_kinds
+
+let plan_fig10 = plan_standard
+
+let plan_fig11 = plan_standard
+
+let plan_fig12 ctx =
+  let periods =
+    None :: List.map (fun p -> Some (p / period_scale)) [ 20; 100; 500; 2500 ]
+  in
+  List.concat_map
+    (fun restart_period ->
+      List.map
+        (fun kind ->
+          Context.ruby_key ctx ~kind ~restart_period
+            ~measure_txns:standard_measure)
+        [ Factory.Glibc; Factory.Dd None ])
+    periods
+
 let fig10 ctx =
   let t =
     Table.create

@@ -5,6 +5,11 @@
     DDmalloc) lives off malloc/free alone, and workers are restarted every
     500 transactions to shed fragmentation — the paper's configuration. *)
 
+val plan_fig10 : Context.t -> Context.key list
+val plan_fig11 : Context.t -> Context.key list
+val plan_fig12 : Context.t -> Context.key list
+(** Pure plans for the three figures (the execute stage runs them). *)
+
 val fig10 : Context.t -> unit
 (** Throughput with glibc, Hoard, TCmalloc and DDmalloc on 8 Xeon cores. *)
 

@@ -5,6 +5,17 @@ module Machine = Mm_cachesim.Machine
 
 let yes_no b = if b then "yes" else "no"
 
+(* Table 1 is printed from static capability metadata; nothing to plan. *)
+let plan_tab1 (_ctx : Context.t) : Context.key list = []
+
+(* Table 3 reads the 1-core default-allocator profile of every workload. *)
+let plan_tab3 ctx =
+  List.map
+    (fun spec ->
+      Context.php_key ctx ~machine:Machine.xeon ~cores:1
+        ~kind:Factory.Php_default ~spec ())
+    Spec.php_apps
+
 let tab1 (_ctx : Context.t) =
   let t =
     Table.create ~title:"Table 1: allocation approaches for transaction-scoped objects"

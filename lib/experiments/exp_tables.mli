@@ -1,5 +1,9 @@
 (** Table 1 (allocator taxonomy) and Table 3 (workload statistics). *)
 
+val plan_tab1 : Context.t -> Context.key list
+val plan_tab3 : Context.t -> Context.key list
+(** Pure plans ([plan_tab1] is empty — Table 1 is static metadata). *)
+
 val tab1 : Context.t -> unit
 (** Print the paper's Table 1 from the allocators' declared capabilities,
     including the prior-work rows (Reaps, obstack) and §4.4's allocators. *)

@@ -13,6 +13,58 @@ let kind_label = function
   | Factory.Dd _ -> "our DDmalloc"
   | other -> Factory.kind_name other
 
+(* --- plans: the configurations each artifact reads --------------------
+   A plan is pure enumeration; nothing is simulated until the execute
+   stage ([Context.prefetch]) or a render's cache miss. *)
+
+let plan_fig1 ctx =
+  List.map
+    (fun kind ->
+      Context.php_key ctx ~machine:Machine.xeon ~cores:8 ~kind
+        ~spec:Spec.mediawiki_ro ())
+    [ Factory.Php_default; Factory.Region ]
+
+let plan_fig5 ctx =
+  List.concat_map
+    (fun machine ->
+      List.concat_map
+        (fun spec ->
+          List.map
+            (fun kind -> Context.php_key ctx ~machine ~cores:8 ~kind ~spec ())
+            [ Factory.Php_default; Factory.Region; Factory.Dd None ])
+        Spec.php_apps)
+    machines
+
+let plan_fig7 ctx =
+  List.concat_map
+    (fun machine ->
+      List.concat_map
+        (fun cores ->
+          List.map
+            (fun kind ->
+              Context.php_key ctx ~machine ~cores ~kind ~spec:Spec.mediawiki_ro
+                ())
+            Context.php_kinds)
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    machines
+
+let plan_tab4 ctx =
+  List.concat_map
+    (fun machine ->
+      List.concat_map
+        (fun spec ->
+          List.concat_map
+            (fun kind ->
+              List.map
+                (fun cores ->
+                  Context.php_key ctx ~machine ~cores ~kind ~spec ())
+                [ 1; 8 ])
+            Context.php_kinds)
+        Spec.php_apps)
+    machines
+
+(* --- renders: read the memo table and print ----------------------- *)
+
 let fig1 ctx =
   let spec = Spec.mediawiki_ro in
   let base =

@@ -1,4 +1,14 @@
-(** The throughput results: Figures 1, 5, 7 and Table 4. *)
+(** The throughput results: Figures 1, 5, 7 and Table 4.
+
+    Each artifact comes as a pure [plan_*] (the configurations it reads)
+    and a render ([fig1] etc.) that prints from the memoized
+    measurements, simulating on demand only when a configuration was not
+    prefetched. *)
+
+val plan_fig1 : Context.t -> Context.key list
+val plan_fig5 : Context.t -> Context.key list
+val plan_fig7 : Context.t -> Context.key list
+val plan_tab4 : Context.t -> Context.key list
 
 val fig1 : Context.t -> unit
 (** Normalized CPU time per transaction, default vs region allocator,

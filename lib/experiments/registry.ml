@@ -1,7 +1,8 @@
 type experiment = {
   id : string;
   title : string;
-  run : Context.t -> unit;
+  plan : Context.t -> Context.key list;
+  render : Context.t -> unit;
 }
 
 let all =
@@ -9,97 +10,131 @@ let all =
     {
       id = "tab1";
       title = "Table 1: allocation-approach taxonomy";
-      run = Exp_tables.tab1;
+      plan = Exp_tables.plan_tab1;
+      render = Exp_tables.tab1;
     };
     {
       id = "tab3";
       title = "Table 3: per-transaction allocation statistics";
-      run = Exp_tables.tab3;
+      plan = Exp_tables.plan_tab3;
+      render = Exp_tables.tab3;
     };
     {
       id = "fig1";
       title = "Figure 1: region allocator on 8 Xeon cores (motivation)";
-      run = Exp_throughput.fig1;
+      plan = Exp_throughput.plan_fig1;
+      render = Exp_throughput.fig1;
     };
     {
       id = "fig5";
       title = "Figure 5: relative throughput, 8 cores, both machines";
-      run = Exp_throughput.fig5;
+      plan = Exp_throughput.plan_fig5;
+      render = Exp_throughput.fig5;
     };
     {
       id = "fig6";
       title = "Figure 6: CPU-time breakdown on 8 Xeon cores";
-      run = Exp_profile.fig6;
+      plan = Exp_profile.plan_fig6;
+      render = Exp_profile.fig6;
     };
     {
       id = "fig7";
       title = "Figure 7: MediaWiki throughput vs number of cores";
-      run = Exp_throughput.fig7;
+      plan = Exp_throughput.plan_fig7;
+      render = Exp_throughput.fig7;
     };
     {
       id = "tab4";
       title = "Table 4: speedups with 8 cores";
-      run = Exp_throughput.tab4;
+      plan = Exp_throughput.plan_tab4;
+      render = Exp_throughput.tab4;
     };
     {
       id = "fig8";
       title = "Figure 8: hardware-event changes vs the default allocator";
-      run = Exp_profile.fig8;
+      plan = Exp_profile.plan_fig8;
+      render = Exp_profile.fig8;
     };
     {
       id = "fig9";
       title = "Figure 9: memory consumption";
-      run = Exp_profile.fig9;
+      plan = Exp_profile.plan_fig9;
+      render = Exp_profile.fig9;
     };
     {
       id = "fig10";
       title = "Figure 10: Ruby on Rails throughput (general-purpose allocators)";
-      run = Exp_ruby.fig10;
+      plan = Exp_ruby.plan_fig10;
+      render = Exp_ruby.fig10;
     };
     {
       id = "fig11";
       title = "Figure 11: Ruby on Rails CPU-time breakdown";
-      run = Exp_ruby.fig11;
+      plan = Exp_ruby.plan_fig11;
+      render = Exp_ruby.fig11;
     };
     {
       id = "fig12";
       title = "Figure 12: restart-period sweep";
-      run = Exp_ruby.fig12;
+      plan = Exp_ruby.plan_fig12;
+      render = Exp_ruby.fig12;
     };
     {
       id = "abl-seg";
       title = "Ablation: DDmalloc segment size (§3.2)";
-      run = Exp_ablation.segment_size;
+      plan = Exp_ablation.plan_segment_size;
+      render = Exp_ablation.segment_size;
     };
     {
       id = "abl-sc";
       title = "Ablation: DDmalloc size-class mapping (§3.2)";
-      run = Exp_ablation.size_classes;
+      plan = Exp_ablation.plan_size_classes;
+      render = Exp_ablation.size_classes;
     };
     {
       id = "abl-meta";
       title = "Ablation: pid-staggered metadata on Niagara (§3.3-1)";
-      run = Exp_ablation.metadata_offset;
+      plan = Exp_ablation.plan_metadata_offset;
+      render = Exp_ablation.metadata_offset;
     };
     {
       id = "abl-lp";
       title = "Ablation: large pages on Xeon (§3.3-2)";
-      run = Exp_ablation.large_pages;
+      plan = Exp_ablation.plan_large_pages;
+      render = Exp_ablation.large_pages;
     };
     {
       id = "abl-fifo";
       title = "Ablation: free-list reuse order";
-      run = Exp_ablation.reuse_policy;
+      plan = Exp_ablation.plan_reuse_policy;
+      render = Exp_ablation.reuse_policy;
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ctx =
+let plan_all ctx = List.concat_map (fun e -> e.plan ctx) all
+
+let execute ?jobs ctx keys =
+  let jobs =
+    match jobs with Some j -> j | None -> Mm_sched.Pool.default_jobs ()
+  in
+  Context.prefetch ctx ~jobs keys
+
+let run ?jobs ctx e =
+  execute ?jobs ctx (e.plan ctx);
+  e.render ctx
+
+let run_all ?jobs ctx =
+  (* Plan-union first so the whole configuration set is visible to the
+     scheduler at once; [Context.prefetch] collapses the overlap between
+     experiments.  Rendering then only reads the memo table, so the
+     output is byte-identical to the old compute-while-printing loop. *)
+  execute ?jobs ctx (plan_all ctx);
   List.iter
     (fun e ->
       Printf.printf "### %s — %s\n\n%!" e.id e.title;
-      e.run ctx)
+      e.render ctx)
     all
 
 let ids = List.map (fun e -> e.id) all

@@ -9,7 +9,22 @@
 
     A run produces both the hardware-event profile (Figures 1, 6, 8, 11)
     and model outputs: throughput (Figures 5, 7, 10, Table 4), CPU-time
-    breakdown, bus utilization, and memory consumption (Figure 9). *)
+    breakdown, bus utilization, and memory consumption (Figure 9).
+
+    {b Isolation invariant.}  [run] is hermetic: every call builds its own
+    {!Mm_memsim.Memory}, OS layer, {!Mm_cachesim.Cache_system} and
+    per-process {!Mm_stats.Rng} (seeded from [config.seed]), and no module
+    in the simulation stack keeps top-level mutable state — the only
+    shared top-level values are immutable configuration records (machine
+    descriptions, allocator capability/config defaults, paper data).
+    Consequently two [run]s never share mutable state: concurrent calls
+    from different domains are safe, and a configuration's measurement is
+    a pure function of its [config] regardless of what else runs, in
+    which order, or on how many domains.  The experiment scheduler
+    ([Mm_sched.Pool] driven by [Mm_experiments.Context.prefetch]) relies
+    on this for byte-identical output at any [--jobs] count; keep the
+    invariant when extending the runtime (thread any new randomness or
+    scratch state through [config]/local state, never module state). *)
 
 type config = {
   machine : Mm_cachesim.Machine.t;

@@ -230,7 +230,7 @@ let test_light_experiments_print () =
   List.iter
     (fun id ->
       match Registry.find id with
-      | Some e -> e.Registry.run small
+      | Some e -> Registry.run ~jobs:2 small e
       | None -> Alcotest.failf "missing %s" id)
     [ "tab1"; "fig1" ]
 
