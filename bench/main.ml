@@ -35,11 +35,63 @@ let jobs =
 
 (* --- Part 1: the paper's tables and figures --- *)
 
+(* Machine-readable perf trajectory.  Every experiment run appends a
+   timing record; [write_results] dumps them as BENCH_RESULTS.json next to
+   the human-readable output so successive PRs can be compared without
+   parsing tables.  JSON is emitted by hand — no dependency for a flat
+   record. *)
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "unknown" in
+    match Unix.close_process_in ic with
+    | _ -> if String.trim line = "" then "unknown" else String.trim line
+    | exception _ -> "unknown")
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_results ~timings ~total_s =
+  let oc = open_out "BENCH_RESULTS.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": 1,\n";
+  Printf.fprintf oc "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
+  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_seconds\": %.2f,\n" total_s;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, s) ->
+      Printf.fprintf oc "    {\"id\": \"%s\", \"seconds\": %.2f}%s\n"
+        (json_escape id) s
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "Wrote BENCH_RESULTS.json (%d experiment(s))\n%!"
+    (List.length timings)
+
 let run_experiments () =
   Printf.printf
     "=== Reproduction of the paper's evaluation (transaction scale %.2f, %d job(s)) ===\n\n%!"
     scale jobs;
+  let t_start = Unix.gettimeofday () in
   let ctx = Mm_experiments.Context.create ~scale () in
+  let timings = ref [] in
   (* Plan → execute → render per experiment, so the per-experiment timing
      stays meaningful; configurations shared between experiments are still
      simulated only once thanks to the memo table. *)
@@ -55,10 +107,13 @@ let run_experiments () =
         Printf.printf "### %s — %s\n\n%!" e.Mm_experiments.Registry.id
           e.Mm_experiments.Registry.title;
         Mm_experiments.Registry.run ~jobs ctx e;
-        Printf.printf "  [%s: %.1f s]\n\n%!" e.Mm_experiments.Registry.id
-          (Unix.gettimeofday () -. t0)
+        let dt = Unix.gettimeofday () -. t0 in
+        timings := (e.Mm_experiments.Registry.id, dt) :: !timings;
+        Printf.printf "  [%s: %.1f s]\n\n%!" e.Mm_experiments.Registry.id dt
       end)
-    Mm_experiments.Registry.all
+    Mm_experiments.Registry.all;
+  write_results ~timings:(List.rev !timings)
+    ~total_s:(Unix.gettimeofday () -. t_start)
 
 (* --- Part 2: Bechamel microbenchmarks of the allocators themselves --- *)
 

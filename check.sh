@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 check: build, full test suite, and a determinism smoke — the
+# Tier-1 check: build, full test suite, a determinism smoke — the
 # plan/execute/render pipeline must print byte-identical output whether
-# the execute stage runs on 1 domain or 4.
+# the execute stage runs on 1 domain or 4 — and a perf smoke that times a
+# small bench run so hot-path regressions show up in CI logs.
 set -eu
 
 cd "$(dirname "$0")"
@@ -12,15 +13,27 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== determinism smoke: mmstudy run fig1 at -j 1 vs -j 4 =="
+echo "== determinism smoke: mmstudy run all at -j 1 vs -j 4 =="
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
-./_build/default/bin/mmstudy.exe run fig1 --scale 0.05 -j 1 > "$out1"
-./_build/default/bin/mmstudy.exe run fig1 --scale 0.05 -j 4 > "$out4"
+./_build/default/bin/mmstudy.exe run all --scale 0.05 -j 1 > "$out1"
+./_build/default/bin/mmstudy.exe run all --scale 0.05 -j 4 > "$out4"
 if ! diff -u "$out1" "$out4"; then
-  echo "FAIL: fig1 output differs between -j 1 and -j 4" >&2
+  echo "FAIL: run-all output differs between -j 1 and -j 4" >&2
   exit 1
 fi
 echo "byte-identical."
+
+echo "== perf smoke: fig1 at scale 0.05 (wall-clock) =="
+# Not a pass/fail gate — timing on shared CI boxes is too noisy for that —
+# but the number lands in the log for eyeballing against the committed
+# BENCH_RESULTS.json baseline.  Run from a scratch dir so the smoke's own
+# BENCH_RESULTS.json does not clobber the committed one.
+root=$PWD
+smokedir=$(mktemp -d)
+trap 'rm -f "$out1" "$out4"; rm -rf "$smokedir"' EXIT
+( cd "$smokedir" && \
+  time BENCH_ONLY=fig1 BENCH_SCALE=0.05 BENCH_SKIP_MICRO=1 \
+      "$root/_build/default/bench/main.exe" )
 
 echo "ALL CHECKS PASSED"

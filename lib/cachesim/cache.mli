@@ -1,7 +1,12 @@
 (** One set-associative, write-back, write-allocate cache level.
 
     Addresses are presented pre-shifted as line numbers; LRU replacement;
-    dirty bits drive writeback accounting.  The hot path allocates nothing. *)
+    dirty bits drive writeback accounting.  The hot path allocates nothing:
+    results are bare constructors and victim information is read back
+    through {!victim_line}/{!victim_dirty} instead of a boxed [Miss]
+    payload, and an MRU-way hint per set short-circuits the way scan on
+    the common repeated-line case (results are identical with or without
+    the hint — it only skips work). *)
 
 type t
 
@@ -11,8 +16,9 @@ type result =
       (** first demand touch of a line brought in by the prefetcher — the
           reference may still wait on the in-flight fill (a "late"
           prefetch) *)
-  | Miss of { victim_line : int; victim_dirty : bool }
-      (** [victim_line] is [-1] when the frame was empty. *)
+  | Miss
+      (** line filled; victim described by {!victim_line}/{!victim_dirty}
+          until the next access *)
 
 val create : sets:int -> ways:int -> t
 (** [sets] must be a power of two. *)
@@ -24,6 +30,14 @@ val access : t -> line:int -> store:bool -> result
 val insert : t -> line:int -> result
 (** Fill a line without a demand reference (prefetch); clean, LRU-refreshed.
     [Hit] if already present. *)
+
+val victim_line : t -> int
+(** After {!access}/{!insert} returned [Miss]: the evicted line, or [-1] if
+    the frame was empty.  Clobbered by the next miss on this cache. *)
+
+val victim_dirty : t -> bool
+(** After {!access}/{!insert} returned [Miss]: whether the victim was
+    dirty.  Clobbered by the next miss on this cache. *)
 
 val contains : t -> line:int -> bool
 (** Probe without disturbing LRU state. *)

@@ -1,6 +1,31 @@
 module Access = Mm_memsim.Access
 module Memory = Mm_memsim.Memory
 
+(* Flat counter indices, fixed at module init: the hot path bumps
+   [ev.(ctx_base + ix_<counter>)] directly instead of re-deriving the index
+   from variants on every event. *)
+let ix_instructions = Events.counter_index Events.Instructions
+
+let ix_loads = Events.counter_index Events.Loads
+
+let ix_stores = Events.counter_index Events.Stores
+
+let ix_l1i_miss = Events.counter_index Events.L1i_miss
+
+let ix_l1d_miss = Events.counter_index Events.L1d_miss
+
+let ix_l2_miss = Events.counter_index Events.L2_miss
+
+let ix_dtlb_miss = Events.counter_index Events.Dtlb_miss
+
+let ix_bus_fill = Events.counter_index Events.Bus_fill
+
+let ix_bus_writeback = Events.counter_index Events.Bus_writeback
+
+let ix_bus_prefetch = Events.counter_index Events.Bus_prefetch
+
+let ix_pf_late = Events.counter_index Events.Pf_late
+
 type t = {
   machine : Machine.t;
   active_cores : int;
@@ -11,6 +36,14 @@ type t = {
   tlb : Tlb.t;
   pf : Prefetcher.t;
   ev : Events.t;
+  (* Events base index (ctx_index * ncounters) of the access being
+     processed; set once per observer invocation so the per-line work never
+     touches the context variant again. *)
+  mutable ctx_base : int;
+  (* Preallocated prefetch-fill callback handed to [Prefetcher.on_miss]
+     (allocating a closure per L1 miss would defeat the zero-allocation
+     contract). *)
+  mutable fill_cb : int -> unit;
 }
 
 let geom_sets (g : Machine.cache_geom) ~line_size =
@@ -18,90 +51,108 @@ let geom_sets (g : Machine.cache_geom) ~line_size =
   assert (sets > 0 && sets land (sets - 1) = 0);
   sets
 
+(* An L2 reference on behalf of the current context; misses go to memory. *)
+let[@inline] l2_ref t ~line ~store =
+  match Cache.access t.l2 ~line ~store with
+  | Cache.Hit -> ()
+  | Cache.Hit_prefetched -> Events.unsafe_add t.ev (t.ctx_base + ix_pf_late) 1
+  | Cache.Miss ->
+    Events.unsafe_add t.ev (t.ctx_base + ix_l2_miss) 1;
+    Events.unsafe_add t.ev (t.ctx_base + ix_bus_fill) 1;
+    if Cache.victim_dirty t.l2 then
+      Events.unsafe_add t.ev (t.ctx_base + ix_bus_writeback) 1
+
+let prefetch_line t line =
+  match Cache.insert t.l2 ~line with
+  | Cache.Hit | Cache.Hit_prefetched -> ()
+  | Cache.Miss ->
+    Events.unsafe_add t.ev (t.ctx_base + ix_bus_prefetch) 1;
+    if Cache.victim_dirty t.l2 then
+      Events.unsafe_add t.ev (t.ctx_base + ix_bus_writeback) 1
+
 let create ~machine ~active_cores ~large_page_heap =
   let m = machine in
   let line_size = m.Machine.line_size in
   let page_shift =
     if large_page_heap then m.Machine.large_page_bits else m.Machine.page_bits
   in
-  {
-    machine = m;
-    active_cores;
-    line_shift = Machine.line_shift m;
-    l1i = Cache.create ~sets:(geom_sets m.Machine.l1i ~line_size) ~ways:m.Machine.l1i.Machine.ways;
-    l1d = Cache.create ~sets:(geom_sets m.Machine.l1d ~line_size) ~ways:m.Machine.l1d.Machine.ways;
-    l2 =
-      Cache.create
-        ~sets:(Machine.l2_sets_per_core m ~active_cores)
-        ~ways:m.Machine.l2.Machine.ways;
-    tlb = Tlb.create ~entries:m.Machine.dtlb_entries ~page_shift;
-    pf = Prefetcher.create ~streams:m.Machine.prefetch_streams ~degree:m.Machine.prefetch_degree;
-    ev = Events.create ();
-  }
-
-(* An L2 reference on behalf of [ctx]; misses go to memory. *)
-let l2_ref t ctx ~line ~store =
-  match Cache.access t.l2 ~line ~store with
-  | Cache.Hit -> ()
-  | Cache.Hit_prefetched -> Events.add t.ev ctx Events.Pf_late 1
-  | Cache.Miss { victim_dirty; _ } ->
-    Events.add t.ev ctx Events.L2_miss 1;
-    Events.add t.ev ctx Events.Bus_fill 1;
-    if victim_dirty then Events.add t.ev ctx Events.Bus_writeback 1
-
-let prefetch t ctx lines =
-  List.iter
-    (fun line ->
-      match Cache.insert t.l2 ~line with
-      | Cache.Hit | Cache.Hit_prefetched -> ()
-      | Cache.Miss { victim_dirty; _ } ->
-        Events.add t.ev ctx Events.Bus_prefetch 1;
-        if victim_dirty then Events.add t.ev ctx Events.Bus_writeback 1)
-    lines
+  let t =
+    {
+      machine = m;
+      active_cores;
+      line_shift = Machine.line_shift m;
+      l1i = Cache.create ~sets:(geom_sets m.Machine.l1i ~line_size) ~ways:m.Machine.l1i.Machine.ways;
+      l1d = Cache.create ~sets:(geom_sets m.Machine.l1d ~line_size) ~ways:m.Machine.l1d.Machine.ways;
+      l2 =
+        Cache.create
+          ~sets:(Machine.l2_sets_per_core m ~active_cores)
+          ~ways:m.Machine.l2.Machine.ways;
+      tlb = Tlb.create ~entries:m.Machine.dtlb_entries ~page_shift;
+      pf = Prefetcher.create ~streams:m.Machine.prefetch_streams ~degree:m.Machine.prefetch_degree;
+      ev = Events.create ();
+      ctx_base = 0;
+      fill_cb = ignore;
+    }
+  in
+  t.fill_cb <- (fun line -> prefetch_line t line);
+  t
 
 (* One data reference to a single line. *)
-let data_line t ctx ~line ~addr ~store =
-  Events.add t.ev ctx Events.Instructions 1;
-  Events.add t.ev ctx (if store then Events.Stores else Events.Loads) 1;
-  if not (Tlb.access t.tlb ~addr) then Events.add t.ev ctx Events.Dtlb_miss 1;
+let data_line t ~line ~addr ~store =
+  Events.unsafe_add t.ev (t.ctx_base + ix_instructions) 1;
+  Events.unsafe_add t.ev (t.ctx_base + (if store then ix_stores else ix_loads)) 1;
+  if not (Tlb.access t.tlb ~addr) then
+    Events.unsafe_add t.ev (t.ctx_base + ix_dtlb_miss) 1;
   match Cache.access t.l1d ~line ~store with
   | Cache.Hit | Cache.Hit_prefetched -> ()
-  | Cache.Miss { victim_line; victim_dirty } ->
-    Events.add t.ev ctx Events.L1d_miss 1;
+  | Cache.Miss ->
+    Events.unsafe_add t.ev (t.ctx_base + ix_l1d_miss) 1;
+    (* Read the L1 victim before the L2 references clobber anything. *)
+    let victim_line = Cache.victim_line t.l1d in
+    let victim_dirty = Cache.victim_dirty t.l1d in
     (* Dirty L1 victim is written back into L2. *)
     if victim_dirty && victim_line >= 0 then
-      l2_ref t ctx ~line:victim_line ~store:true;
-    l2_ref t ctx ~line ~store:false;
-    prefetch t ctx (Prefetcher.on_miss t.pf ~line)
+      l2_ref t ~line:victim_line ~store:true;
+    l2_ref t ~line ~store:false;
+    Prefetcher.on_miss t.pf ~line ~fill:t.fill_cb
 
-let on_data_access t (a : Access.t) =
+let on_data_access t ctx kind addr bytes =
+  t.ctx_base <- Events.ctx_index ctx * Events.ncounters;
   let store =
-    match a.kind with
+    match kind with
     | Access.Load -> false
     | Access.Store -> true
   in
-  let first = a.addr lsr t.line_shift in
-  let last = (a.addr + a.bytes - 1) lsr t.line_shift in
+  let first = addr lsr t.line_shift in
+  let last = (addr + bytes - 1) lsr t.line_shift in
   for line = first to last do
-    let addr = line lsl t.line_shift in
-    let addr = if line = first then a.addr else addr in
-    data_line t a.context ~line ~addr ~store
+    let a = if line = first then addr else line lsl t.line_shift in
+    data_line t ~line ~addr:a ~store
   done
 
 let on_code_access t ctx addr =
+  t.ctx_base <- Events.ctx_index ctx * Events.ncounters;
   let line = addr lsr t.line_shift in
   match Cache.access t.l1i ~line ~store:false with
   | Cache.Hit | Cache.Hit_prefetched -> ()
-  | Cache.Miss _ ->
-    Events.add t.ev ctx Events.L1i_miss 1;
-    l2_ref t ctx ~line ~store:false
+  | Cache.Miss ->
+    Events.unsafe_add t.ev (t.ctx_base + ix_l1i_miss) 1;
+    l2_ref t ~line ~store:false
 
-let on_instr t ctx n = Events.add t.ev ctx Events.Instructions n
+let on_instr t ctx n =
+  Events.unsafe_add t.ev
+    ((Events.ctx_index ctx * Events.ncounters) + ix_instructions)
+    n
 
 let attach t mem =
-  Memory.set_access_observer mem (on_data_access t);
-  Memory.set_code_observer mem (on_code_access t);
-  Memory.set_instr_observer mem (on_instr t)
+  (* Eta-expanded on purpose: [(on_data_access t)] would be a unary
+     partial application, and every event delivery through it would go via
+     caml_curry, allocating intermediate closures.  A literal [fun] of the
+     full arity gets the non-allocating caml_apply fast path. *)
+  Memory.set_access_observer mem (fun ctx kind addr bytes ->
+      on_data_access t ctx kind addr bytes);
+  Memory.set_code_observer mem (fun ctx addr -> on_code_access t ctx addr);
+  Memory.set_instr_observer mem (fun ctx n -> on_instr t ctx n)
 
 let on_context_switch t =
   if t.machine.Machine.tlb_flush_on_switch then Tlb.flush t.tlb

@@ -6,7 +6,14 @@
     instruction counts — and maintains L1I, L1D, the core's share of L2,
     the D-TLB, and the stream prefetcher, accumulating the paper's
     hardware-event counters per context.  The multicore performance model
-    ({!Perf_model}) then scales one core's behaviour to the machine. *)
+    ({!Perf_model}) then scales one core's behaviour to the machine.
+
+    This module is the installed {!Mm_memsim.Memory.observer} and obeys its
+    contract: processing one access allocates nothing (counter bumps go
+    through precomputed flat indices, cache results carry no boxed payload,
+    and the prefetcher feeds candidates through a preallocated callback)
+    and nothing about the access is retained beyond the call.  The counts
+    it produces are bit-identical to the historical boxed-record path. *)
 
 type t
 

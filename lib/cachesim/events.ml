@@ -59,6 +59,8 @@ let context_index = function
   | Mm_memsim.Access.App -> 1
   | Mm_memsim.Access.Kernel -> 2
 
+let ctx_index = context_index
+
 let ncontexts = 3
 
 type t = int array  (* [ctx * ncounters + counter] *)
@@ -70,6 +72,8 @@ let reset t = Array.fill t 0 (Array.length t) 0
 let add t ctx counter n =
   let i = (context_index ctx * ncounters) + counter_index counter in
   t.(i) <- t.(i) + n
+
+let[@inline] unsafe_add t i n = Array.unsafe_set t i (Array.unsafe_get t i + n)
 
 let get t ctx counter = t.((context_index ctx * ncounters) + counter_index counter)
 

@@ -32,6 +32,25 @@ val reset : t -> unit
 
 val add : t -> Mm_memsim.Access.context -> counter -> int -> unit
 
+(** {2 Raw-index fast path}
+
+    The cache simulator bumps counters on every simulated line reference;
+    going through the variant dispatch of {!add} per bump is measurable.
+    Hot callers precompute flat indices [ctx_index ctx * ncounters +
+    counter_index c] once per access and bump through {!unsafe_add}. *)
+
+val ncounters : int
+
+val ncontexts : int
+
+val counter_index : counter -> int
+
+val ctx_index : Mm_memsim.Access.context -> int
+
+val unsafe_add : t -> int -> int -> unit
+(** [unsafe_add t i n] adds [n] at flat index [i] with no bounds check;
+    [i] must come from the [ctx_index]/[counter_index] arithmetic above. *)
+
 val get : t -> Mm_memsim.Access.context -> counter -> int
 
 val total : t -> counter -> int

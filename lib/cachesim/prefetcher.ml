@@ -22,28 +22,28 @@ let reset t =
   Array.fill t.next 0 (Array.length t.next) (-1);
   Array.fill t.confidence 0 (Array.length t.confidence) 0
 
-let on_miss t ~line =
-  if t.streams = 0 then []
-  else begin
+let on_miss t ~line ~fill =
+  if t.streams > 0 then begin
     t.clock <- t.clock + 1;
     (* Does this miss continue a tracked stream? *)
     let slot = ref (-1) in
     for i = 0 to t.streams - 1 do
-      if t.next.(i) = line then slot := i
+      if Array.unsafe_get t.next i = line then slot := i
     done;
     if !slot >= 0 then begin
       let i = !slot in
       t.confidence.(i) <- t.confidence.(i) + 1;
       t.next.(i) <- line + 1;
       t.age.(i) <- t.clock;
-      if t.confidence.(i) >= 1 then
-        (* Confirmed stream: run ahead of the demand stream, but never
-           across a 4 KB page boundary (the DPL prefetcher stops there). *)
-        let page = line lsr 6 in
-        List.filter
-          (fun l -> l lsr 6 = page)
-          (List.init t.degree (fun k -> line + 1 + k))
-      else []
+      (* Confirmed stream: run ahead of the demand stream, but never
+         across a 4 KB page boundary (the DPL prefetcher stops there).
+         Candidates go out through [fill] in ascending order — no list is
+         built. *)
+      let page = line lsr 6 in
+      for k = 1 to t.degree do
+        let l = line + k in
+        if l lsr 6 = page then fill l
+      done
     end
     else begin
       (* Allocate (steal the LRU slot) for a potential new stream. *)
@@ -54,7 +54,6 @@ let on_miss t ~line =
       let i = !victim in
       t.next.(i) <- line + 1;
       t.confidence.(i) <- 0;
-      t.age.(i) <- t.clock;
-      []
+      t.age.(i) <- t.clock
     end
   end

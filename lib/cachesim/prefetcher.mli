@@ -14,8 +14,11 @@ val create : streams:int -> degree:int -> t
 (** [streams] tracking slots (0 disables the unit); [degree] lines fetched
     ahead on a confirmed stream. *)
 
-val on_miss : t -> line:int -> int list
-(** Feed a demand-miss line; returns the lines to prefetch (possibly []).
-    Prefetches never cross a 4 KB page boundary, like the hardware. *)
+val on_miss : t -> line:int -> fill:(int -> unit) -> unit
+(** Feed a demand-miss line; candidate prefetch lines are pushed through
+    [fill] in ascending order (possibly none) instead of being returned as
+    a list, so the miss path allocates nothing.  Prefetches never cross a
+    4 KB page boundary, like the hardware.  Callers should pass a
+    preallocated closure. *)
 
 val reset : t -> unit

@@ -1,39 +1,56 @@
+(* Fully-associative, exact-LRU TLB over flat arrays.  A linear scan of
+   [entries] ints beats a Hashtbl at realistic sizes (64 entries), and the
+   miss path allocates nothing — the previous Hashtbl-based version paid a
+   bucket cons per install and an iteration closure per eviction.  Victim
+   selection (least-recent stamp) is identical, so hit/miss sequences are
+   bit-for-bit the same. *)
+
 type t = {
   entries : int;
   shift : int;
-  table : (int, int) Hashtbl.t;  (* page -> last-use stamp *)
+  pages : int array;  (* -1 = empty slot *)
+  stamp : int array;  (* last-use clock; 0 = never used since flush *)
   mutable clock : int;
 }
 
 let create ~entries ~page_shift =
   assert (entries > 0 && page_shift >= 10);
-  { entries; shift = page_shift; table = Hashtbl.create 256; clock = 0 }
-
-let evict_lru t =
-  let victim = ref (-1) in
-  let oldest = ref max_int in
-  Hashtbl.iter
-    (fun page stamp ->
-      if stamp < !oldest then begin
-        oldest := stamp;
-        victim := page
-      end)
-    t.table;
-  if !victim >= 0 then Hashtbl.remove t.table !victim
+  {
+    entries;
+    shift = page_shift;
+    pages = Array.make entries (-1);
+    stamp = Array.make entries 0;
+    clock = 0;
+  }
 
 let access t ~addr =
   let page = addr lsr t.shift in
   t.clock <- t.clock + 1;
-  if Hashtbl.mem t.table page then begin
-    Hashtbl.replace t.table page t.clock;
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < t.entries do
+    if Array.unsafe_get t.pages !i = page then hit := !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    Array.unsafe_set t.stamp !hit t.clock;
     true
   end
   else begin
-    if Hashtbl.length t.table >= t.entries then evict_lru t;
-    Hashtbl.replace t.table page t.clock;
+    (* Install over the LRU slot; empty slots carry stamp 0 and therefore
+       always lose the min-stamp scan, so the TLB fills before evicting. *)
+    let victim = ref 0 in
+    for j = 1 to t.entries - 1 do
+      if Array.unsafe_get t.stamp j < Array.unsafe_get t.stamp !victim then
+        victim := j
+    done;
+    Array.unsafe_set t.pages !victim page;
+    Array.unsafe_set t.stamp !victim t.clock;
     false
   end
 
-let flush t = Hashtbl.reset t.table
+let flush t =
+  Array.fill t.pages 0 t.entries (-1);
+  Array.fill t.stamp 0 t.entries 0
 
 let page_shift t = t.shift

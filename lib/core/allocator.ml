@@ -78,13 +78,28 @@ let make_stats () =
 let pack (type a) (module A : S with type t = a) ~mem (heap : a) =
   let stats = make_stats () in
   let module Mem = Mm_memsim.Memory in
-  let in_mgmt f = Mem.with_context mem Mm_memsim.Access.Mgmt f in
+  (* Explicit save/switch/restore instead of [with_context f]: these
+     wrappers run on every malloc/free, and a [fun () -> ...] thunk
+     capturing the arguments would allocate per call. *)
+  let[@inline] enter_mgmt () =
+    let saved = Mem.context mem in
+    Mem.set_context mem Mm_memsim.Access.Mgmt;
+    saved
+  in
   let note_consumption () =
     let c = A.consumption heap in
     if c > stats.peak_consumption then stats.peak_consumption <- c
   in
   let malloc ~size =
-    let addr = in_mgmt (fun () -> A.malloc heap ~size) in
+    let saved = enter_mgmt () in
+    let addr =
+      match A.malloc heap ~size with
+      | a -> a
+      | exception e ->
+        Mem.set_context mem saved;
+        raise e
+    in
+    Mem.set_context mem saved;
     stats.mallocs <- stats.mallocs + 1;
     stats.bytes_requested <- stats.bytes_requested + size;
     note_consumption ();
@@ -100,19 +115,46 @@ let pack (type a) (module A : S with type t = a) ~mem (heap : a) =
     addr
   in
   let free ~addr =
-    in_mgmt (fun () -> A.free heap ~addr);
+    let saved = enter_mgmt () in
+    (match A.free heap ~addr with
+    | () -> Mem.set_context mem saved
+    | exception e ->
+      Mem.set_context mem saved;
+      raise e);
     stats.frees <- stats.frees + 1
   in
   let realloc ~addr ~size =
-    let addr' = in_mgmt (fun () -> A.realloc heap ~addr ~size) in
+    let saved = enter_mgmt () in
+    let addr' =
+      match A.realloc heap ~addr ~size with
+      | a -> a
+      | exception e ->
+        Mem.set_context mem saved;
+        raise e
+    in
+    Mem.set_context mem saved;
     stats.reallocs <- stats.reallocs + 1;
     stats.bytes_requested <- stats.bytes_requested + size;
     note_consumption ();
     addr'
   in
-  let usable_size ~addr = in_mgmt (fun () -> A.usable_size heap ~addr) in
+  let usable_size ~addr =
+    let saved = enter_mgmt () in
+    match A.usable_size heap ~addr with
+    | s ->
+      Mem.set_context mem saved;
+      s
+    | exception e ->
+      Mem.set_context mem saved;
+      raise e
+  in
   let free_all () =
-    in_mgmt (fun () -> A.free_all heap);
+    let saved = enter_mgmt () in
+    (match A.free_all heap with
+    | () -> Mem.set_context mem saved
+    | exception e ->
+      Mem.set_context mem saved;
+      raise e);
     stats.free_alls <- stats.free_alls + 1
   in
   {

@@ -1,10 +1,14 @@
 (** Memory-access events.
 
     Every load, store, or payload touch performed against the simulated
-    memory is described by one of these records and handed to the observer
-    installed on the {!Memory.t}.  The cache simulator is that observer; the
-    profiler attributes the resulting hits, misses, and stall cycles to the
-    access's {!context}. *)
+    memory is described by a (context, kind, addr, bytes) quadruple and
+    handed to the observer installed on the {!Memory.t} as four immediate
+    arguments — the hot path never materializes a record.  The cache
+    simulator is that observer; the profiler attributes the resulting hits,
+    misses, and stall cycles to the access's {!context}.
+
+    The boxed {!t} record survives as a convenience for tests and ad-hoc
+    tracing via {!Memory.set_boxed_access_observer}. *)
 
 type context =
   | Mgmt  (** inside malloc/free/realloc/freeAll — the allocator itself *)

@@ -7,15 +7,31 @@
     (and therefore their cache behaviour) are genuine, not modeled.
 
     Three event streams flow out of a memory:
-    - data accesses ({!Access.t}) from loads, stores, and payload touches;
+    - data accesses (context, kind, addr, bytes) from loads, stores, and
+      payload touches;
     - instruction counts, charged by allocators and the workload engine;
     - code touches (simulated instruction-fetch addresses), used by the
       I-cache model.
 
     All three are tagged with the current {!Access.context}, switched by the
-    runtime around allocator calls. *)
+    runtime around allocator calls.
+
+    {b Zero-allocation hot path.}  A simulated data access performs no heap
+    allocation: the observer receives the four components of an
+    {!Access.t} as immediate arguments rather than a boxed record, block
+    lookup goes through a one-entry last-block cache (and a preallocated
+    [Not_found] instead of an allocating [find_opt]), and
+    {!load_word}/{!store_word} assemble native [int]s without [Int64]
+    boxing.  Billions of events per experiment ride on this path. *)
 
 type t
+
+(** The unboxed access observer: [f ctx kind addr bytes].  The contract:
+    observers must not allocate on this path and must not retain the
+    arguments beyond the call (they are immediates, there is nothing to
+    retain).  Event streams are bit-identical to the historical boxed
+    [Access.t -> unit] observer. *)
+type observer = Access.context -> Access.kind -> int -> int -> unit
 
 val create : unit -> t
 
@@ -29,9 +45,16 @@ val set_context : t -> Access.context -> unit
 val context : t -> Access.context
 
 val with_context : t -> Access.context -> (unit -> 'a) -> 'a
-(** Run the thunk under the given context, restoring the previous one. *)
+(** Run the thunk under the given context, restoring the previous one
+    (also on exceptions).  Allocation-free apart from the closure the
+    caller passes. *)
 
-val set_access_observer : t -> (Access.t -> unit) -> unit
+val set_access_observer : t -> observer -> unit
+
+val set_boxed_access_observer : t -> (Access.t -> unit) -> unit
+(** Compatibility shim for tests and ad-hoc tracing: wraps the callback in
+    an adapter that materializes an {!Access.t} record per event (one
+    allocation per access — never use on a measured path). *)
 
 val set_instr_observer : t -> (Access.context -> int -> unit) -> unit
 
@@ -55,9 +78,12 @@ val load64 : t -> addr:int -> int64
 val store64 : t -> addr:int -> value:int64 -> unit
 
 val load_word : t -> addr:int -> int
-(** 64-bit load narrowed to an OCaml int (addresses and sizes fit 62 bits). *)
+(** 64-bit load narrowed to an OCaml int (addresses and sizes fit 62 bits).
+    Reads the same byte representation as {!load64} but never boxes. *)
 
 val store_word : t -> addr:int -> value:int -> unit
+(** Bit-compatible with [store64 ~value:(Int64.of_int value)], without the
+    [Int64] boxing. *)
 
 val touch : t -> kind:Access.kind -> addr:int -> bytes:int -> unit
 (** Emit access events for a payload region without materializing backing
@@ -70,7 +96,9 @@ val memset : t -> addr:int -> bytes:int -> value:int -> unit
 val memcpy : t -> dst:int -> src:int -> bytes:int -> unit
 (** Copies only bytes whose source blocks are materialized, but emits load
     and store events for the full extent (a [realloc] copy touches every
-    line whether or not the simulator ever stored real data there). *)
+    line whether or not the simulator ever stored real data there).
+    Unmaterialized source ranges read as zero, exactly like {!load8}; a
+    destination block that was never materialized stays that way. *)
 
 (** {2 Instruction accounting} *)
 

@@ -106,11 +106,12 @@ let run cfg =
   Memory.set_context mem Mm_memsim.Access.App;
   let total_done = ref 0 in
   let current = ref 0 in
+  (* Hoisted so the scheduler loop doesn't allocate a thunk per switch. *)
+  let charge_switch () = Memory.instr mem context_switch_kernel_instr in
   let switch_to p =
     if nprocs > 1 && not fine_grained then begin
       (* OS context switch: kernel path plus, on x86, a TLB flush. *)
-      Memory.with_context mem Mm_memsim.Access.Kernel (fun () ->
-          Memory.instr mem context_switch_kernel_instr);
+      Memory.with_context mem Mm_memsim.Access.Kernel charge_switch;
       Cache_system.on_context_switch cs
     end;
     current := p

@@ -24,7 +24,20 @@
     ([Mm_sched.Pool] driven by [Mm_experiments.Context.prefetch]) relies
     on this for byte-identical output at any [--jobs] count; keep the
     invariant when extending the runtime (thread any new randomness or
-    scratch state through [config]/local state, never module state). *)
+    scratch state through [config]/local state, never module state).
+
+    {b Hot-path allocation contract.}  The simulated-access path under
+    [run] — {!Mm_memsim.Memory.touch}/[code_touch]/[instr] through the
+    attached {!Mm_cachesim.Cache_system} observers — performs {e zero}
+    OCaml minor-heap allocation (see the unboxed-observer contract in
+    [memory.mli] and the [Gc.minor_words] test in [test_memsim.ml]).
+    Observers receive the access as immediate arguments
+    ([ctx kind addr bytes]), never as an allocated record, and must not
+    allocate or retain those arguments; event counts are bit-identical to
+    the historical boxed-[Access.t] path.  When extending the engine or
+    the observers, keep closure creation, boxing ([Int64], [option],
+    tuples) and [Printf] out of the per-access path — allocation there
+    dominates end-to-end simulation time. *)
 
 type config = {
   machine : Mm_cachesim.Machine.t;

@@ -315,8 +315,8 @@ let test_mgmt_context_tagging () =
   let os = Os.create mem in
   let h = Factory.create (Factory.Dd None) ~os ~mem ~pid:0 in
   let mgmt = ref 0 and app = ref 0 in
-  Memory.set_access_observer mem (fun a ->
-      match a.Mm_memsim.Access.context with
+  Memory.set_access_observer mem (fun ctx _kind _addr _bytes ->
+      match ctx with
       | Mm_memsim.Access.Mgmt -> incr mgmt
       | Mm_memsim.Access.App -> incr app
       | Mm_memsim.Access.Kernel -> ());

@@ -11,7 +11,7 @@ module Memory = Mm_memsim.Memory
 module Access = Mm_memsim.Access
 
 let is_miss = function
-  | Cache.Miss _ -> true
+  | Cache.Miss -> true
   | Cache.Hit | Cache.Hit_prefetched -> false
 
 (* --- Cache --- *)
@@ -27,8 +27,8 @@ let test_cache_lru_eviction () =
   ignore (Cache.access c ~line:2 ~store:false);
   ignore (Cache.access c ~line:1 ~store:false);  (* refresh 1: LRU is 2 *)
   (match Cache.access c ~line:3 ~store:false with
-  | Cache.Miss { victim_line; _ } ->
-    Alcotest.(check int) "evicts LRU (2)" 2 victim_line
+  | Cache.Miss ->
+    Alcotest.(check int) "evicts LRU (2)" 2 (Cache.victim_line c)
   | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss");
   Alcotest.(check bool) "1 still present" true (Cache.contains c ~line:1)
 
@@ -36,14 +36,14 @@ let test_cache_dirty_writeback () =
   let c = Cache.create ~sets:1 ~ways:1 in
   ignore (Cache.access c ~line:1 ~store:true);
   (match Cache.access c ~line:2 ~store:false with
-  | Cache.Miss { victim_dirty; victim_line } ->
-    Alcotest.(check bool) "victim dirty" true victim_dirty;
-    Alcotest.(check int) "victim line" 1 victim_line
+  | Cache.Miss ->
+    Alcotest.(check bool) "victim dirty" true (Cache.victim_dirty c);
+    Alcotest.(check int) "victim line" 1 (Cache.victim_line c)
   | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss");
   (* Clean victim: no writeback. *)
   match Cache.access c ~line:3 ~store:false with
-  | Cache.Miss { victim_dirty; _ } ->
-    Alcotest.(check bool) "clean victim" false victim_dirty
+  | Cache.Miss ->
+    Alcotest.(check bool) "clean victim" false (Cache.victim_dirty c)
   | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss"
 
 let test_cache_prefetched_flag () =
@@ -52,11 +52,11 @@ let test_cache_prefetched_flag () =
   (match Cache.access c ~line:9 ~store:false with
   | Cache.Hit_prefetched -> ()
   | Cache.Hit -> Alcotest.fail "expected Hit_prefetched"
-  | Cache.Miss _ -> Alcotest.fail "expected hit");
+  | Cache.Miss -> Alcotest.fail "expected hit");
   match Cache.access c ~line:9 ~store:false with
   | Cache.Hit -> ()
   | Cache.Hit_prefetched -> Alcotest.fail "flag must clear after first touch"
-  | Cache.Miss _ -> Alcotest.fail "expected hit"
+  | Cache.Miss -> Alcotest.fail "expected hit"
 
 let test_cache_contains_no_lru_disturb () =
   let c = Cache.create ~sets:1 ~ways:2 in
@@ -65,7 +65,7 @@ let test_cache_contains_no_lru_disturb () =
   (* Probing 1 must not refresh it. *)
   ignore (Cache.contains c ~line:1);
   match Cache.access c ~line:3 ~store:false with
-  | Cache.Miss { victim_line; _ } -> Alcotest.(check int) "LRU still 1" 1 victim_line
+  | Cache.Miss -> Alcotest.(check int) "LRU still 1" 1 (Cache.victim_line c)
   | Cache.Hit | Cache.Hit_prefetched -> Alcotest.fail "expected miss"
 
 let test_cache_flush () =
@@ -101,6 +101,122 @@ let prop_cache_matches_reference =
         lines;
       !ok)
 
+(* Reference-model property for the MRU-way fast path: a straight
+   reimplementation of the cache WITHOUT the MRU hint (the pre-optimization
+   slow path — full way scan on every reference).  On any randomized
+   access/insert stream with stores, the optimized cache must report the
+   same result kind and the same victim line/dirty bit at every step. *)
+module Slow_cache = struct
+  type t = {
+    nways : int;
+    set_mask : int;
+    tags : int array;
+    age : int array;
+    dirty : bool array;
+    prefetched : bool array;
+    mutable clock : int;
+    mutable victim_line : int;
+    mutable victim_dirty : bool;
+  }
+
+  let create ~sets ~ways =
+    {
+      nways = ways;
+      set_mask = sets - 1;
+      tags = Array.make (sets * ways) (-1);
+      age = Array.make (sets * ways) 0;
+      dirty = Array.make (sets * ways) false;
+      prefetched = Array.make (sets * ways) false;
+      clock = 0;
+      victim_line = -1;
+      victim_dirty = false;
+    }
+
+  let find t set line =
+    let base = set * t.nways in
+    let slot = ref (-1) in
+    for w = 0 to t.nways - 1 do
+      if !slot < 0 && t.tags.(base + w) = line then slot := base + w
+    done;
+    !slot
+
+  let lru_slot t set =
+    let base = set * t.nways in
+    let best = ref base in
+    for w = 1 to t.nways - 1 do
+      if t.age.(base + w) < t.age.(!best) then best := base + w
+    done;
+    !best
+
+  let fill t slot line dirty =
+    t.victim_line <- t.tags.(slot);
+    t.victim_dirty <- t.dirty.(slot);
+    t.tags.(slot) <- line;
+    t.age.(slot) <- t.clock;
+    t.dirty.(slot) <- dirty
+
+  let access t ~line ~store =
+    let set = line land t.set_mask in
+    t.clock <- t.clock + 1;
+    let slot = find t set line in
+    if slot >= 0 then begin
+      t.age.(slot) <- t.clock;
+      if store then t.dirty.(slot) <- true;
+      if t.prefetched.(slot) then begin
+        t.prefetched.(slot) <- false;
+        Cache.Hit_prefetched
+      end
+      else Cache.Hit
+    end
+    else begin
+      let slot = lru_slot t set in
+      fill t slot line store;
+      t.prefetched.(slot) <- false;
+      Cache.Miss
+    end
+
+  let insert t ~line =
+    let set = line land t.set_mask in
+    t.clock <- t.clock + 1;
+    let slot = find t set line in
+    if slot >= 0 then begin
+      t.age.(slot) <- t.clock;
+      Cache.Hit
+    end
+    else begin
+      let slot = lru_slot t set in
+      fill t slot line false;
+      t.prefetched.(slot) <- true;
+      Cache.Miss
+    end
+end
+
+let prop_mru_fast_path_matches_slow_path =
+  QCheck.Test.make ~name:"MRU fast path matches full-scan slow path" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 100 400)
+        (triple (int_range 0 3) (int_range 0 63) bool))
+    (fun ops ->
+      let sets = 8 and ways = 4 in
+      let fast = Cache.create ~sets ~ways in
+      let slow = Slow_cache.create ~sets ~ways in
+      List.for_all
+        (fun (op, line, store) ->
+          let rf, rs =
+            if op = 0 then (Cache.insert fast ~line, Slow_cache.insert slow ~line)
+            else (Cache.access fast ~line ~store, Slow_cache.access slow ~line ~store)
+          in
+          rf = rs
+          &&
+          (* On a miss both victims must agree too. *)
+          match rf with
+          | Cache.Miss ->
+            Cache.victim_line fast = slow.Slow_cache.victim_line
+            && Cache.victim_dirty fast = slow.Slow_cache.victim_dirty
+          | Cache.Hit | Cache.Hit_prefetched -> true)
+        ops)
+
 (* --- TLB --- *)
 
 let test_tlb_basic () =
@@ -132,29 +248,35 @@ let test_tlb_large_pages () =
 
 (* --- Prefetcher --- *)
 
+(* on_miss pushes candidates through a callback; gather them for checks. *)
+let pf_collect p ~line =
+  let acc = ref [] in
+  Prefetcher.on_miss p ~line ~fill:(fun l -> acc := l :: !acc);
+  List.rev !acc
+
 let test_prefetcher_stream_detection () =
   let p = Prefetcher.create ~streams:4 ~degree:2 in
-  Alcotest.(check (list int)) "first miss: nothing" [] (Prefetcher.on_miss p ~line:100);
+  Alcotest.(check (list int)) "first miss: nothing" [] (pf_collect p ~line:100);
   Alcotest.(check (list int)) "second sequential: prefetch ahead" [ 102; 103 ]
-    (Prefetcher.on_miss p ~line:101)
+    (pf_collect p ~line:101)
 
 let test_prefetcher_nonsequential () =
   let p = Prefetcher.create ~streams:4 ~degree:2 in
-  ignore (Prefetcher.on_miss p ~line:100);
+  ignore (pf_collect p ~line:100);
   Alcotest.(check (list int)) "random miss: nothing" []
-    (Prefetcher.on_miss p ~line:500)
+    (pf_collect p ~line:500)
 
 let test_prefetcher_disabled () =
   let p = Prefetcher.create ~streams:0 ~degree:4 in
-  ignore (Prefetcher.on_miss p ~line:1);
-  Alcotest.(check (list int)) "disabled" [] (Prefetcher.on_miss p ~line:2)
+  ignore (pf_collect p ~line:1);
+  Alcotest.(check (list int)) "disabled" [] (pf_collect p ~line:2)
 
 let test_prefetcher_page_boundary () =
   let p = Prefetcher.create ~streams:4 ~degree:4 in
   (* Lines 62,63 are at the end of a 4 KB page (64 lines/page). *)
-  ignore (Prefetcher.on_miss p ~line:62);
+  ignore (pf_collect p ~line:62);
   Alcotest.(check (list int)) "stops at page boundary" []
-    (Prefetcher.on_miss p ~line:63)
+    (pf_collect p ~line:63)
 
 (* --- Events --- *)
 
@@ -380,8 +502,9 @@ let prop_tlb_hit_after_install =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_cache_matches_reference; prop_perf_model_consistent;
-      prop_prefetched_hit_reported_once; prop_tlb_hit_after_install ]
+    [ prop_cache_matches_reference; prop_mru_fast_path_matches_slow_path;
+      prop_perf_model_consistent; prop_prefetched_hit_reported_once;
+      prop_tlb_hit_after_install ]
 
 let () =
   Alcotest.run "mm_cachesim"

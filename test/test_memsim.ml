@@ -74,6 +74,44 @@ let test_memcpy_unmaterialized_source () =
   Memory.memcpy mem ~dst:(base + 4096) ~src:(base + 65536 * 7) ~bytes:8;
   Alcotest.(check int) "zero-filled" 0 (Memory.load8 mem ~addr:(base + 4096))
 
+(* Copying out of an unbacked block must overwrite pre-existing dst data
+   with zeros (load8 semantics), not leave it alone. *)
+let test_memcpy_cold_src_clobbers_dst () =
+  let mem = Memory.create () in
+  for i = 0 to 15 do
+    Memory.store8 mem ~addr:(base + 4096 + i) ~value:0xEE
+  done;
+  Memory.memcpy mem ~dst:(base + 4096) ~src:(base + 65536 * 9) ~bytes:16;
+  for i = 0 to 15 do
+    Alcotest.(check int) "clobbered to zero" 0
+      (Memory.load8 mem ~addr:(base + 4096 + i))
+  done
+
+(* Copying between two unbacked blocks must not materialize either one:
+   the dst already reads as zero, so backing it would only waste memory. *)
+let test_memcpy_cold_to_cold_stays_cold () =
+  let mem = Memory.create () in
+  Memory.store8 mem ~addr:base ~value:1 (* one backed block for reference *);
+  let before = Memory.backed_bytes mem in
+  Memory.memcpy mem ~dst:(base + 65536 * 3) ~src:(base + 65536 * 5) ~bytes:200;
+  Alcotest.(check int) "no new backing" before (Memory.backed_bytes mem);
+  Alcotest.(check int) "dst reads zero" 0
+    (Memory.load8 mem ~addr:(base + 65536 * 3))
+
+(* Copying real data into an unbacked block materializes it and copies. *)
+let test_memcpy_into_cold_materializes () =
+  let mem = Memory.create () in
+  for i = 0 to 7 do
+    Memory.store8 mem ~addr:(base + i) ~value:(0x30 + i)
+  done;
+  let before = Memory.backed_bytes mem in
+  Memory.memcpy mem ~dst:(base + 65536 * 4) ~src:base ~bytes:8;
+  Alcotest.(check bool) "dst materialized" true (Memory.backed_bytes mem > before);
+  for i = 0 to 7 do
+    Alcotest.(check int) "copied" (0x30 + i)
+      (Memory.load8 mem ~addr:(base + 65536 * 4 + i))
+  done
+
 let test_reset () =
   let mem = Memory.create () in
   Memory.store_word mem ~addr:base ~value:5;
@@ -81,12 +119,46 @@ let test_reset () =
   Alcotest.(check int) "cleared" 0 (Memory.load_word mem ~addr:base);
   Alcotest.(check int) "no backing" 0 (Memory.backed_bytes mem)
 
+(* --- the zero-allocation contract (see memory.mli) ---
+
+   With a full cache system attached, a simulated access must not allocate
+   on the OCaml minor heap: the observer path is the simulator's inner
+   loop.  [Gc.minor_words] is exact for allocation counting, so the check
+   is a hard equality, not a threshold. *)
+let test_touch_allocates_nothing () =
+  let mem = Memory.create () in
+  let cs =
+    Mm_cachesim.Cache_system.create ~machine:Mm_cachesim.Machine.xeon
+      ~active_cores:8 ~large_page_heap:false
+  in
+  Mm_cachesim.Cache_system.attach cs mem;
+  let n = 50_000 in
+  let run () =
+    for i = 1 to n do
+      (* Mix of loads, stores, cross-line accesses, code fetches and
+         instruction charges, spread over enough lines to force misses,
+         TLB evictions and prefetcher activity. *)
+      let addr = base + (i * 8161 land 0xFFFFF) in
+      let kind = if i land 3 = 0 then Access.Store else Access.Load in
+      Memory.touch mem ~kind ~addr ~bytes:(if i land 7 = 0 then 16 else 8);
+      Memory.code_touch mem ~addr:(base + (i * 127 land 0xFFFF));
+      Memory.instr mem 3
+    done
+  in
+  run () (* warm up: materialize blocks, fill caches, stabilize *);
+  let before = Gc.minor_words () in
+  run ();
+  let after = Gc.minor_words () in
+  Alcotest.(check (float 0.0))
+    "minor words allocated by the access hot path" 0.0 (after -. before)
+
 (* --- events and contexts --- *)
 
 let test_touch_emits_without_backing () =
   let mem = Memory.create () in
   let events = ref [] in
-  Memory.set_access_observer mem (fun a -> events := a :: !events);
+  (* The boxed shim materializes Access.t records for test convenience. *)
+  Memory.set_boxed_access_observer mem (fun a -> events := a :: !events);
   Memory.touch mem ~kind:Access.Load ~addr:base ~bytes:4096;
   Alcotest.(check int) "one event" 1 (List.length !events);
   Alcotest.(check int) "no backing" 0 (Memory.backed_bytes mem);
@@ -99,7 +171,8 @@ let test_touch_emits_without_backing () =
 let test_observer_records () =
   let mem = Memory.create () in
   let events = ref [] in
-  Memory.set_access_observer mem (fun a -> events := a :: !events);
+  Memory.set_access_observer mem (fun context kind addr bytes ->
+      events := { Access.context; kind; addr; bytes } :: !events);
   Memory.set_context mem Access.Mgmt;
   Memory.store_word mem ~addr:base ~value:1;
   Memory.set_context mem Access.App;
@@ -266,6 +339,9 @@ let () =
           Alcotest.test_case "memset cross-block" `Quick test_memset_cross_block;
           Alcotest.test_case "memcpy" `Quick test_memcpy;
           Alcotest.test_case "memcpy cold source" `Quick test_memcpy_unmaterialized_source;
+          Alcotest.test_case "memcpy cold src clobbers" `Quick test_memcpy_cold_src_clobbers_dst;
+          Alcotest.test_case "memcpy cold to cold" `Quick test_memcpy_cold_to_cold_stays_cold;
+          Alcotest.test_case "memcpy into cold" `Quick test_memcpy_into_cold_materializes;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "events",
@@ -277,6 +353,7 @@ let () =
           Alcotest.test_case "instr observer" `Quick test_instr_observer;
           Alcotest.test_case "code observer" `Quick test_code_observer;
           Alcotest.test_case "access count" `Quick test_access_count;
+          Alcotest.test_case "zero allocation" `Quick test_touch_allocates_nothing;
         ] );
       ( "os_layer",
         [
