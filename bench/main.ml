@@ -7,13 +7,19 @@
    the implementations themselves (host wall-clock time of malloc/free in
    the simulated heap, observers detached).
 
+   Part 1 runs twice: cold (fresh persistent store, every configuration
+   simulated) and warm (same store, new process-equivalent context — all
+   measurements served from disk), so every BENCH_RESULTS.json records
+   both the simulator's speed and the store's speedup.
+
    Environment knobs:
      BENCH_SCALE   transaction scale (default 0.15; the paper-fidelity
                    reporting scale is 0.25, see EXPERIMENTS.md)
      BENCH_ONLY    comma-separated experiment ids (default: all)
      BENCH_JOBS    worker domains for the execute stage (default: the
                    machine's recommended domain count, clamped)
-     BENCH_SKIP_MICRO / BENCH_SKIP_EXPERIMENTS  set to skip a part *)
+     BENCH_SKIP_MICRO / BENCH_SKIP_EXPERIMENTS / BENCH_SKIP_WARM
+                   set to skip a part *)
 
 let getenv_default name default =
   match Sys.getenv_opt name with
@@ -36,19 +42,30 @@ let jobs =
 (* --- Part 1: the paper's tables and figures --- *)
 
 (* Machine-readable perf trajectory.  Every experiment run appends a
-   timing record; [write_results] dumps them as BENCH_RESULTS.json next to
-   the human-readable output so successive PRs can be compared without
-   parsing tables.  JSON is emitted by hand — no dependency for a flat
-   record. *)
+   timing record; [write_results] dumps them as BENCH_RESULTS.json (the
+   latest snapshot) and appends the same record as one line to
+   BENCH_HISTORY.jsonl (the cumulative trajectory) so successive PRs can
+   be compared without parsing tables.  JSON is emitted by hand — no
+   dependency for a flat record. *)
 
-let git_describe () =
-  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
-  | exception _ -> "unknown"
+let command_line cmd =
+  match Unix.open_process_in cmd with
+  | exception _ -> ""
   | ic -> (
-    let line = try input_line ic with End_of_file -> "unknown" in
+    let line = try input_line ic with End_of_file -> "" in
     match Unix.close_process_in ic with
-    | _ -> if String.trim line = "" then "unknown" else String.trim line
-    | exception _ -> "unknown")
+    | _ -> String.trim line
+    | exception _ -> "")
+
+(* The exact commit the numbers belong to.  A dirty tree makes the
+   trajectory unattributable, so it is marked loudly in the output and in
+   the JSON rather than silently folded into a rev suffix. *)
+let git_rev () =
+  match command_line "git rev-parse HEAD 2>/dev/null" with
+  | "" -> "unknown"
+  | rev -> rev
+
+let git_dirty () = command_line "git status --porcelain 2>/dev/null" <> ""
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -64,37 +81,63 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results ~timings ~total_s =
-  let oc = open_out "BENCH_RESULTS.json" in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 1,\n";
-  Printf.fprintf oc "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
-  Printf.fprintf oc "  \"unix_time\": %.0f,\n" (Unix.time ());
-  Printf.fprintf oc "  \"scale\": %g,\n" scale;
-  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
-  Printf.fprintf oc "  \"total_seconds\": %.2f,\n" total_s;
-  Printf.fprintf oc "  \"experiments\": [\n";
+let results_json ~timings ~total_s ~warm =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": 2,\n";
+  Printf.bprintf b "  \"git\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.bprintf b "  \"git_dirty\": %b,\n" (git_dirty ());
+  Printf.bprintf b "  \"fingerprint\": \"%s\",\n"
+    (json_escape Mm_runtime.Version.sim_fingerprint);
+  Printf.bprintf b "  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.bprintf b "  \"scale\": %g,\n" scale;
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b "  \"total_seconds\": %.2f,\n" total_s;
+  (match warm with
+  | None -> ()
+  | Some warm_s ->
+    Printf.bprintf b "  \"warm_total_seconds\": %.2f,\n" warm_s;
+    Printf.bprintf b "  \"warm_speedup\": %.1f,\n"
+      (if warm_s > 0.0 then total_s /. warm_s else 0.0));
+  Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i (id, s) ->
-      Printf.fprintf oc "    {\"id\": \"%s\", \"seconds\": %.2f}%s\n"
+      Printf.bprintf b "    {\"id\": \"%s\", \"seconds\": %.2f}%s\n"
         (json_escape id) s
         (if i = List.length timings - 1 then "" else ","))
     timings;
-  Printf.fprintf oc "  ]\n}\n";
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_results ~timings ~total_s ~warm =
+  if git_dirty () then
+    print_endline
+      "*** DIRTY TREE: BENCH_RESULTS.json will carry \"git_dirty\": true —\n\
+       *** these numbers are not attributable to a commit.  Commit first\n\
+       *** before recording a perf point.";
+  let json = results_json ~timings ~total_s ~warm in
+  let oc = open_out "BENCH_RESULTS.json" in
+  output_string oc json;
   close_out oc;
-  Printf.printf "Wrote BENCH_RESULTS.json (%d experiment(s))\n%!"
+  (* The cumulative trajectory: one compact line per bench run, appended,
+     never overwritten. *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_HISTORY.jsonl"
+  in
+  String.iter (fun c -> if c <> '\n' then output_char oc c) json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Wrote BENCH_RESULTS.json (%d experiment(s)); appended to \
+                 BENCH_HISTORY.jsonl\n%!"
     (List.length timings)
 
-let run_experiments () =
-  Printf.printf
-    "=== Reproduction of the paper's evaluation (transaction scale %.2f, %d job(s)) ===\n\n%!"
-    scale jobs;
-  let t_start = Unix.gettimeofday () in
-  let ctx = Mm_experiments.Context.create ~scale () in
+(* One pass over the selected experiments with the given context.
+   Plan → execute → render per experiment, so the per-experiment timing
+   stays meaningful; configurations shared between experiments are still
+   simulated only once thanks to the memo table. *)
+let run_selected ctx =
   let timings = ref [] in
-  (* Plan → execute → render per experiment, so the per-experiment timing
-     stays meaningful; configurations shared between experiments are still
-     simulated only once thanks to the memo table. *)
+  let t_start = Unix.gettimeofday () in
   List.iter
     (fun e ->
       let selected =
@@ -112,8 +155,58 @@ let run_experiments () =
         Printf.printf "  [%s: %.1f s]\n\n%!" e.Mm_experiments.Registry.id dt
       end)
     Mm_experiments.Registry.all;
-  write_results ~timings:(List.rev !timings)
-    ~total_s:(Unix.gettimeofday () -. t_start)
+  (List.rev !timings, Unix.gettimeofday () -. t_start)
+
+(* The warm pass re-renders everything (store hits only); its stdout is
+   a byte-identical duplicate of the cold pass, so it goes to /dev/null. *)
+let with_stdout_to_null f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+
+let run_experiments () =
+  Printf.printf
+    "=== Reproduction of the paper's evaluation (transaction scale %.2f, %d job(s)) ===\n\n%!"
+    scale jobs;
+  let store_dir = Filename.temp_dir "mmstudy-bench-store" "" in
+  let store =
+    Mm_store.Store.open_ ~dir:store_dir
+      ~fingerprint:Mm_runtime.Version.sim_fingerprint ()
+  in
+  let cold_ctx = Mm_experiments.Context.create ~scale ~store () in
+  let timings, total_s = run_selected cold_ctx in
+  let warm =
+    if Sys.getenv_opt "BENCH_SKIP_WARM" <> None then None
+    else begin
+      (* A fresh context over the populated store stands in for a fresh
+         process: zero simulations, everything from disk. *)
+      let warm_ctx = Mm_experiments.Context.create ~scale ~store () in
+      let _, warm_s = with_stdout_to_null (fun () -> run_selected warm_ctx) in
+      let sims = Mm_experiments.Context.simulated warm_ctx in
+      Printf.printf
+        "Warm rerun from the store: %.2f s vs %.2f s cold (%.1fx), %d \
+         simulation(s), %d disk hit(s)\n\n%!"
+        warm_s total_s
+        (if warm_s > 0.0 then total_s /. warm_s else 0.0)
+        sims
+        (Mm_experiments.Context.disk_hits warm_ctx);
+      if sims <> 0 then
+        Printf.printf
+          "*** WARM RERUN SIMULATED %d CONFIGURATION(S) — store keys are \
+           not covering the id space!\n%!"
+          sims;
+      Some warm_s
+    end
+  in
+  ignore (Mm_store.Store.clear ~dir:store_dir : int);
+  (try Unix.rmdir store_dir with Unix.Unix_error _ -> ());
+  write_results ~timings ~total_s ~warm
 
 (* --- Part 2: Bechamel microbenchmarks of the allocators themselves --- *)
 

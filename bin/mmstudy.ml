@@ -3,7 +3,28 @@
    Subcommands: list what can be run, run one experiment or all of them,
    and run a single simulation configuration with a detailed profile. *)
 
-let ctx_of ~scale ~seed = Mm_experiments.Context.create ~scale ~seed ()
+module Store = Mm_store.Store
+
+let ctx_of ~scale ~seed ~cache ~refresh ~cache_dir =
+  let store =
+    if cache then
+      Some
+        (Store.open_ ?dir:cache_dir
+           ~fingerprint:Mm_runtime.Version.sim_fingerprint ())
+    else None
+  in
+  Mm_experiments.Context.create ~scale ~seed ?store ~refresh ()
+
+(* Execution accounting goes to stderr so that a warm (store-served) run
+   stays byte-identical to a cold run on stdout — check.sh diffs them. *)
+let print_exec_summary ctx =
+  match Mm_experiments.Context.store ctx with
+  | None -> ()
+  | Some s ->
+    Printf.eprintf "[mmstudy] simulations: %d, disk hits: %d, store: %s\n%!"
+      (Mm_experiments.Context.simulated ctx)
+      (Mm_experiments.Context.disk_hits ctx)
+      (Store.dir s)
 
 let scale_arg =
   let doc =
@@ -31,6 +52,36 @@ let jobs_arg =
 let check_jobs jobs =
   if jobs < 1 then Error (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs)
   else Ok jobs
+
+let cache_arg =
+  let on =
+    Cmdliner.Arg.info [ "cache" ]
+      ~doc:
+        "Serve measurements from the persistent store when possible and \
+         record fresh ones into it (the default)."
+  in
+  let off =
+    Cmdliner.Arg.info [ "no-cache" ]
+      ~doc:
+        "Disable the persistent measurement store entirely: neither read \
+         nor write it (process-local memoization only)."
+  in
+  Cmdliner.Arg.(value & vflag true [ (true, on); (false, off) ])
+
+let refresh_arg =
+  let doc =
+    "Ignore existing store entries and recompute every configuration, \
+     writing the fresh results back into the store."
+  in
+  Cmdliner.Arg.(value & flag & info [ "refresh" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Measurement store directory (default: \\$MMSTUDY_CACHE_DIR if set, \
+     else _mmstudy_cache)."
+  in
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 let list_cmd =
   let run () =
@@ -64,19 +115,21 @@ let run_cmd =
     Cmdliner.Arg.(
       required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run id scale seed jobs =
+  let run id scale seed jobs cache refresh cache_dir =
     match check_jobs jobs with
     | Error msg -> `Error (false, msg)
     | Ok jobs -> (
-      let ctx = ctx_of ~scale ~seed in
+      let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
       if id = "all" then begin
         Mm_experiments.Registry.run_all ~jobs ctx;
+        print_exec_summary ctx;
         `Ok ()
       end
       else
         match Mm_experiments.Registry.find id with
         | Some e ->
           Mm_experiments.Registry.run ~jobs ctx e;
+          print_exec_summary ctx;
           `Ok ()
         | None ->
           `Error
@@ -85,7 +138,10 @@ let run_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run"
        ~doc:"Run one experiment (a table or figure of the paper) or all.")
-    Cmdliner.Term.(ret (const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg))
+    Cmdliner.Term.(
+      ret
+        (const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
+       $ refresh_arg $ cache_dir_arg))
 
 let sim_cmd =
   let machine_arg =
@@ -106,7 +162,8 @@ let sim_cmd =
     Cmdliner.Arg.(
       value & opt string "mediawiki-ro" & info [ "workload" ] ~docv:"W" ~doc)
   in
-  let run machine cores alloc workload scale seed jobs =
+  let run machine cores alloc workload scale seed jobs cache refresh cache_dir
+      =
     let machine_v =
       match machine with
       | "xeon" -> Some Mm_cachesim.Machine.xeon
@@ -131,7 +188,7 @@ let sim_cmd =
             machine.Mm_cachesim.Machine.cores
             machine.Mm_cachesim.Machine.name cores )
     | Some machine, Some kind, Some spec, Ok jobs ->
-      let ctx = ctx_of ~scale ~seed in
+      let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
       let key =
         Mm_experiments.Context.php_key ctx ~machine ~cores ~kind ~spec ()
       in
@@ -159,6 +216,7 @@ let sim_cmd =
         (Mm_stats.Table.fmt_bytes
            (int_of_float
               (Mm_stats.Summary.mean m.Mm_runtime.Engine.consumption /. scale)));
+      print_exec_summary ctx;
       `Ok ()
   in
   Cmdliner.Cmd.v
@@ -167,7 +225,77 @@ let sim_cmd =
     Cmdliner.Term.(
       ret
         (const run $ machine_arg $ cores_arg $ alloc_arg $ workload_arg
-       $ scale_arg $ seed_arg $ jobs_arg))
+       $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ refresh_arg
+       $ cache_dir_arg))
+
+(* --- the `mmstudy cache` maintenance group --------------------------- *)
+
+let cache_cmd =
+  let dir_arg =
+    let doc =
+      "Store directory (default: \\$MMSTUDY_CACHE_DIR if set, else \
+       _mmstudy_cache)."
+    in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let resolve_dir dir = Option.value dir ~default:(Store.default_dir ()) in
+  let stats_cmd =
+    let run dir =
+      let dir = resolve_dir dir in
+      let s = Store.stats ~dir in
+      Printf.printf "store:       %s\n" dir;
+      Printf.printf "fingerprint: %s\n" Mm_runtime.Version.sim_fingerprint;
+      Printf.printf "entries:     %d\n" s.Store.entries;
+      Printf.printf "bytes:       %d (%.2f MB)\n" s.Store.bytes
+        (float_of_int s.Store.bytes /. 1048576.0)
+    in
+    Cmdliner.Cmd.v
+      (Cmdliner.Cmd.info "stats"
+         ~doc:"Show entry count and size of the measurement store.")
+      Cmdliner.Term.(const run $ dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let dir = resolve_dir dir in
+      let n = Store.clear ~dir in
+      Printf.printf "removed %d entry(ies) from %s\n" n dir
+    in
+    Cmdliner.Cmd.v
+      (Cmdliner.Cmd.info "clear"
+         ~doc:"Delete every entry of the measurement store.")
+      Cmdliner.Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_mb_arg =
+      let doc = "Target size: evict least-recently-used entries until the \
+                 store fits in $(docv) megabytes." in
+      Cmdliner.Arg.(
+        required & opt (some float) None & info [ "max-mb" ] ~docv:"MB" ~doc)
+    in
+    let run dir max_mb =
+      if max_mb < 0.0 then `Error (false, "--max-mb must be >= 0")
+      else begin
+        let dir = resolve_dir dir in
+        let max_bytes = int_of_float (max_mb *. 1048576.0) in
+        let n = Store.gc ~dir ~max_bytes in
+        let s = Store.stats ~dir in
+        Printf.printf "evicted %d entry(ies); %d left (%.2f MB) in %s\n" n
+          s.Store.entries
+          (float_of_int s.Store.bytes /. 1048576.0)
+          dir;
+        `Ok ()
+      end
+    in
+    Cmdliner.Cmd.v
+      (Cmdliner.Cmd.info "gc"
+         ~doc:"Evict least-recently-used entries down to a size budget.")
+      Cmdliner.Term.(ret (const run $ dir_arg $ max_mb_arg))
+  in
+  Cmdliner.Cmd.group
+    (Cmdliner.Cmd.info "cache"
+       ~doc:"Inspect and maintain the persistent measurement store.")
+    [ stats_cmd; clear_cmd; gc_cmd ]
 
 let () =
   let doc =
@@ -175,4 +303,6 @@ let () =
      Applications on Multicore Processors' (PLDI 2009)."
   in
   let info = Cmdliner.Cmd.info "mmstudy" ~version:"1.0.0" ~doc in
-  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info [ list_cmd; run_cmd; sim_cmd ]))
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info [ list_cmd; run_cmd; sim_cmd; cache_cmd ]))

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 check: build, full test suite, a determinism smoke — the
 # plan/execute/render pipeline must print byte-identical output whether
-# the execute stage runs on 1 domain or 4 — and a perf smoke that times a
-# small bench run so hot-path regressions show up in CI logs.
+# the execute stage runs on 1 domain or 4 — a cold/warm store equivalence
+# gate, and a perf smoke that times a small bench run so hot-path
+# regressions show up in CI logs.
 set -eu
 
 cd "$(dirname "$0")"
@@ -13,16 +14,44 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== determinism smoke: mmstudy run all at -j 1 vs -j 4 =="
+MMSTUDY=./_build/default/bin/mmstudy.exe
+
+echo "== determinism smoke: mmstudy run all at -j 1 vs -j 4 (no cache) =="
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
-./_build/default/bin/mmstudy.exe run all --scale 0.05 -j 1 > "$out1"
-./_build/default/bin/mmstudy.exe run all --scale 0.05 -j 4 > "$out4"
+$MMSTUDY run all --scale 0.05 -j 1 --no-cache > "$out1"
+$MMSTUDY run all --scale 0.05 -j 4 --no-cache > "$out4"
 if ! diff -u "$out1" "$out4"; then
   echo "FAIL: run-all output differs between -j 1 and -j 4" >&2
   exit 1
 fi
 echo "byte-identical."
+
+echo "== store smoke: cold vs warm run must be byte-identical =="
+# Two fresh processes over one fresh store: the first simulates everything
+# and writes the store; the second must render byte-identical stdout from
+# disk alone (zero simulations).  Also proves the cached path reproduces
+# the --no-cache output above exactly.
+cachedir=$(mktemp -d)
+cold=$(mktemp) && warm=$(mktemp) && warmerr=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr"; rm -rf "$cachedir"' EXIT
+MMSTUDY_CACHE_DIR="$cachedir" $MMSTUDY run all --scale 0.05 -j 4 > "$cold"
+MMSTUDY_CACHE_DIR="$cachedir" $MMSTUDY run all --scale 0.05 -j 4 > "$warm" 2> "$warmerr"
+if ! diff -u "$cold" "$warm"; then
+  echo "FAIL: warm (store-served) output differs from cold output" >&2
+  exit 1
+fi
+if ! diff -u "$out4" "$warm"; then
+  echo "FAIL: cached output differs from --no-cache output" >&2
+  exit 1
+fi
+if ! grep -q 'simulations: 0,' "$warmerr"; then
+  echo "FAIL: warm run re-simulated instead of reading the store:" >&2
+  cat "$warmerr" >&2
+  exit 1
+fi
+MMSTUDY_CACHE_DIR="$cachedir" $MMSTUDY cache stats
+echo "cold = warm = uncached, 0 warm simulations."
 
 echo "== perf smoke: fig1 at scale 0.05 (wall-clock) =="
 # Not a pass/fail gate — timing on shared CI boxes is too noisy for that —
@@ -31,9 +60,13 @@ echo "== perf smoke: fig1 at scale 0.05 (wall-clock) =="
 # BENCH_RESULTS.json does not clobber the committed one.
 root=$PWD
 smokedir=$(mktemp -d)
-trap 'rm -f "$out1" "$out4"; rm -rf "$smokedir"' EXIT
+trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr"; rm -rf "$cachedir" "$smokedir"' EXIT
+# `time` is not available under dash; the bench prints per-experiment and
+# total wall-clock itself, bracket it with date for a coarse check.
+t0=$(date +%s)
 ( cd "$smokedir" && \
-  time BENCH_ONLY=fig1 BENCH_SCALE=0.05 BENCH_SKIP_MICRO=1 \
+  BENCH_ONLY=fig1 BENCH_SCALE=0.05 BENCH_SKIP_MICRO=1 BENCH_SKIP_WARM=1 \
       "$root/_build/default/bench/main.exe" )
+echo "perf smoke wall-clock: $(($(date +%s) - t0)) s"
 
 echo "ALL CHECKS PASSED"

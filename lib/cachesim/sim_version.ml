@@ -1,0 +1,1 @@
+let semantics = 1

@@ -1,0 +1,16 @@
+(** Semantic version of the memory-hierarchy simulator.
+
+    The persistent measurement store ([Mm_store], wired in through
+    [Mm_experiments.Context]) keys cached results on a simulator
+    fingerprint so that a behavioural change can never serve stale
+    measurements.  {!semantics} is the cache-simulator component of that
+    fingerprint.
+
+    {b Bump rule for contributors:} increment {!semantics} whenever a
+    change to [lib/cachesim] (cache geometry or replacement, TLB,
+    prefetcher, event accounting, perf model) or [lib/memsim] can alter
+    the {e numbers} a simulation produces.  Pure refactors and speedups
+    that keep output bit-identical must not bump it — that would throw
+    away every cached measurement for nothing. *)
+
+val semantics : int

@@ -4,6 +4,7 @@ module Machine = Mm_cachesim.Machine
 module Perf = Mm_cachesim.Perf_model
 module Spec = Mm_workload.Spec
 module Pool = Mm_sched.Pool
+module Store = Mm_store.Store
 
 type id = {
   k_machine : string;
@@ -15,6 +16,10 @@ type id = {
   k_ruby : bool;
   k_measure : int;
   k_scale : float;
+  k_seed : int;
+      (* Part of the identity even though it is ambient in the [t]: the
+         persistent store outlives the process, so keys from runs with
+         different [--seed] values must never collide. *)
 }
 
 type key = {
@@ -34,24 +39,32 @@ type cell = {
 type t = {
   scale : float;
   seed : int;
-  lock : Mutex.t;  (* guards cache, inflight, n_simulated *)
+  store : Store.t option;  (* read-through / write-behind disk layer *)
+  refresh : bool;  (* skip store reads (still write) — force recompute *)
+  lock : Mutex.t;  (* guards cache, inflight, n_simulated, n_disk_hits *)
   cache : (id, Engine.measurement) Hashtbl.t;
   inflight : (id, cell) Hashtbl.t;
   mutable n_simulated : int;
+  mutable n_disk_hits : int;
 }
 
-let create ?(scale = 0.25) ?(seed = 42) () =
+let create ?(scale = 0.25) ?(seed = 42) ?store ?(refresh = false) () =
   assert (scale > 0.0 && scale <= 1.0);
   {
     scale;
     seed;
+    store;
+    refresh;
     lock = Mutex.create ();
     cache = Hashtbl.create 64;
     inflight = Hashtbl.create 8;
     n_simulated = 0;
+    n_disk_hits = 0;
   }
 
 let scale t = t.scale
+
+let store t = t.store
 
 let simulated t =
   Mutex.lock t.lock;
@@ -59,9 +72,16 @@ let simulated t =
   Mutex.unlock t.lock;
   n
 
+let disk_hits t =
+  Mutex.lock t.lock;
+  let n = t.n_disk_hits in
+  Mutex.unlock t.lock;
+  n
+
 let key_name k =
   let i = k.key_id in
-  Printf.sprintf "%s/%dc/%s/%s%s%s%s" i.k_machine i.k_cores i.k_kind i.k_spec
+  Printf.sprintf "%s/%dc/%s/%s%s%s%s~s%d" i.k_machine i.k_cores i.k_kind
+    i.k_spec
     (if i.k_large_pages then "+lp" else "")
     (if i.k_ruby then
        Printf.sprintf "+ruby:%s/%d"
@@ -69,6 +89,19 @@ let key_name k =
          i.k_measure
      else "")
     (Printf.sprintf "@%g" i.k_scale)
+    i.k_seed
+
+(* The canonical string the persistent store digests.  Every [id] field
+   appears, fully expanded; the scale is printed with %h so two scales
+   that differ in any bit get distinct keys. *)
+let store_key_of_id (i : id) =
+  Printf.sprintf
+    "machine=%s;cores=%d;kind=%s;spec=%s;restart=%s;large_pages=%b;ruby=%b;measure=%d;scale=%h;seed=%d"
+    i.k_machine i.k_cores i.k_kind i.k_spec
+    (match i.k_restart with None -> "none" | Some p -> string_of_int p)
+    i.k_large_pages i.k_ruby i.k_measure i.k_scale i.k_seed
+
+let store_key k = store_key_of_id k.key_id
 
 (* DDmalloc as the paper ran it: large pages and the §3.3 metadata
    staggering on Niagara; stock configuration on Xeon (the paper disabled
@@ -103,11 +136,39 @@ let kind_key = function
       | Core.Ddmalloc.Addr_ordered -> "addr")
   | other -> Factory.kind_name other
 
+(* Disk layer: a validated read of one id's measurement, or None.  Any
+   store or decode failure is a miss — the caller recomputes and the
+   write-behind overwrites the bad entry. *)
+let read_store t id =
+  match t.store with
+  | Some s when not t.refresh -> (
+    match Store.find s ~key:(store_key_of_id id) with
+    | None -> None
+    | Some payload -> (
+      match Engine.measurement_of_string payload with
+      | Ok m -> Some m
+      | Error _ -> None))
+  | Some _ | None -> None
+
+(* Write-behind is best-effort: a full disk or read-only store directory
+   must not fail the run that just produced a perfectly good result. *)
+let write_store t id m =
+  match t.store with
+  | Some s -> (
+    try
+      Store.store s ~key:(store_key_of_id id)
+        ~data:(Engine.measurement_to_string m)
+    with Sys_error _ | Unix.Unix_error _ -> ())
+  | None -> ()
+
 (* Force a key: return the memoized measurement, computing it at most once
    per process.  Concurrent requests for the same id rendezvous on an
    in-flight cell; distinct ids simulate concurrently without holding
    [t.lock] (safe because each Engine.run builds its own Memory,
-   Cache_system and RNGs — see lib/runtime/engine.mli). *)
+   Cache_system and RNGs — see lib/runtime/engine.mli).  Lookup order is
+   memory hit → disk hit → simulate (+ write-behind); the in-flight
+   rendezvous covers the disk read too, so racing requesters cost one
+   file read, not several. *)
 let force t key =
   let id = key.key_id in
   Mutex.lock t.lock;
@@ -139,15 +200,23 @@ let force t key =
       in
       Hashtbl.add t.inflight id cell;
       Mutex.unlock t.lock;
-      let outcome =
-        try `Done (key.compute ()) with e -> `Failed e
+      let outcome, from_disk =
+        match read_store t id with
+        | Some m -> (`Done m, true)
+        | None -> (
+          match (try `Done (key.compute ()) with e -> `Failed e) with
+          | `Done m as done_ ->
+            write_store t id m;
+            (done_, false)
+          | `Failed _ as failed -> (failed, false))
       in
       Mutex.lock t.lock;
       Hashtbl.remove t.inflight id;
       (match outcome with
       | `Done m ->
         Hashtbl.add t.cache id m;
-        t.n_simulated <- t.n_simulated + 1
+        if from_disk then t.n_disk_hits <- t.n_disk_hits + 1
+        else t.n_simulated <- t.n_simulated + 1
       | `Failed _ -> ());
       Mutex.unlock t.lock;
       Mutex.lock cell.c_mutex;
@@ -181,6 +250,7 @@ let php_key t ~machine ~cores ~kind ~spec ?large_pages_override ?scale_override
       k_ruby = false;
       k_measure = 0;
       k_scale = scale;
+      k_seed = t.seed;
     }
   in
   let compute () =
@@ -206,6 +276,7 @@ let ruby_key t ~kind ~restart_period ~measure_txns =
       k_ruby = true;
       k_measure = measure_txns;
       k_scale = t.scale;
+      k_seed = t.seed;
     }
   in
   let compute () =
@@ -239,16 +310,12 @@ let dedup_keys keys =
 let prefetch t ~jobs keys =
   let keys = dedup_keys keys in
   (* Skip configurations already memoized so repeated prefetches are
-     cheap; [force] re-checks under the lock, this is only an early cut. *)
-  let fresh =
-    List.filter
-      (fun k ->
-        Mutex.lock t.lock;
-        let hit = Hashtbl.mem t.cache k.key_id in
-        Mutex.unlock t.lock;
-        not hit)
-      keys
-  in
+     cheap; [force] re-checks under the lock, this is only an early cut.
+     One lock acquisition over the whole filter — taking and releasing
+     the lock per key serialized against concurrent forces for nothing. *)
+  Mutex.lock t.lock;
+  let fresh = List.filter (fun k -> not (Hashtbl.mem t.cache k.key_id)) keys in
+  Mutex.unlock t.lock;
   ignore
     (Pool.run ~jobs (List.map (fun k () -> ignore (force t k)) fresh) : unit list)
 

@@ -14,16 +14,33 @@
     render passes then read the memo table.  Each configuration is
     simulated {e at most once per process}, even when several domains
     request it concurrently — late requesters block on the in-flight run
-    instead of recomputing. *)
+    instead of recomputing.
+
+    With a {!Mm_store.Store.t} attached, the memo table gains a
+    persistent disk layer: {!force} resolves memory hit → disk hit →
+    simulate, and write-behinds every fresh simulation, so the whole
+    suite is incremental {e across processes}.  Store entries are keyed
+    by the fully-expanded configuration (including the seed) plus
+    [Mm_runtime.Version.sim_fingerprint], and decoded measurements are
+    bit-exact ([%h] float round-trip), so warm output is byte-identical
+    to cold output. *)
 
 type t
 
-val create : ?scale:float -> ?seed:int -> unit -> t
+val create :
+  ?scale:float -> ?seed:int -> ?store:Mm_store.Store.t -> ?refresh:bool ->
+  unit -> t
 (** [scale] applies to every per-transaction call count (default 0.25 —
     see EXPERIMENTS.md for the scaling policy); results are reported at
-    full-transaction equivalents. *)
+    full-transaction equivalents.  [store] attaches the persistent
+    measurement store (default: none — process-local memoization only,
+    exactly the historical behaviour).  [refresh] makes {!force} skip
+    store {e reads} while still writing results back: recompute
+    everything, repopulating the store. *)
 
 val scale : t -> float
+
+val store : t -> Mm_store.Store.t option
 
 val php_kinds : Mm_runtime.Alloc_factory.kind list
 (** The paper's three PHP-runtime allocators: default, region, DDmalloc. *)
@@ -42,7 +59,14 @@ type key
     nothing is simulated until {!force} or {!prefetch}. *)
 
 val key_name : key -> string
-(** Stable human-readable identity, for logs and tests. *)
+(** Stable human-readable identity, for logs and tests.  Includes the
+    seed. *)
+
+val store_key : key -> string
+(** The canonical configuration string the persistent store digests:
+    every identity field, fully expanded (machine, cores, canonical
+    allocator-config string, spec, restart/ruby/measure flags, bit-exact
+    scale, seed). *)
 
 val php_key :
   t ->
@@ -82,8 +106,13 @@ val prefetch : t -> jobs:int -> key list -> unit
     Exceptions from simulations are re-raised after the pool drains. *)
 
 val simulated : t -> int
-(** Number of simulations actually executed so far (cache misses), for
-    dedup accounting and tests. *)
+(** Number of simulations actually executed so far (misses of both the
+    memo table and the store), for dedup accounting, the CLI's execution
+    summary, and tests. *)
+
+val disk_hits : t -> int
+(** Number of measurements served from the persistent store instead of
+    simulated. *)
 
 (** {2 Memoized run + read (force of an equivalent key)} *)
 

@@ -93,3 +93,27 @@ val run : config -> measurement
 
 val event_per_txn : measurement -> Mm_cachesim.Events.counter -> float
 (** Whole-machine-context total of one counter, per transaction. *)
+
+(** {2 Measurement serialization}
+
+    The payload format of the persistent measurement store: a versioned,
+    human-diffable "key value" line format.  Floats are written with [%h]
+    (hex mantissa) so every finite value round-trips bit-exactly — a warm
+    store hit renders byte-identically to the simulation that produced
+    it.  Machine and workload are stored by name; the allocator
+    configuration is stored in full (the ablations sweep DDmalloc's
+    parameters, including the size-class scheme). *)
+
+val measurement_schema_version : int
+(** Bumped on any change to the serialization format; folded into
+    [Version.sim_fingerprint], so a format change invalidates the whole
+    store rather than misparsing old entries. *)
+
+val measurement_to_string : measurement -> string
+
+val measurement_of_string : string -> (measurement, string) result
+(** Inverse of {!measurement_to_string}:
+    [measurement_of_string (measurement_to_string m) = Ok m] (structural
+    equality, including every {!Mm_cachesim.Events} counter).  Never
+    raises — any malformed, truncated, or wrong-version payload is an
+    [Error], which store readers treat as a miss. *)

@@ -1,0 +1,13 @@
+(* The simulator fingerprint: the version of the *meaning* of a
+   measurement.  [Mm_store] mixes this string into every cache digest (and
+   stores it in every entry header), so bumping any component below
+   atomically invalidates the whole persistent store. *)
+
+let core_semantics = 1
+
+let engine_semantics = 1
+
+let sim_fingerprint =
+  Printf.sprintf "core-v%d.cachesim-v%d.engine-v%d.schema-v%d" core_semantics
+    Mm_cachesim.Sim_version.semantics engine_semantics
+    Engine.measurement_schema_version

@@ -1,0 +1,27 @@
+(** Simulator fingerprint for the persistent measurement store.
+
+    A cached measurement is only valid as long as the simulator that
+    produced it is behaviourally identical to the one reading it.
+    {!sim_fingerprint} names that behaviour: it is part of every
+    [Mm_store] digest, so changing it orphans (never corrupts) every
+    existing cache entry and forces recomputation.
+
+    {b Bump rule for contributors — "changed simulator semantics ⇒ bump":}
+
+    - allocator / workload / process-model behaviour ([lib/core],
+      [lib/baselines], [lib/workload], [Process]): bump {!core_semantics};
+    - memory-hierarchy or perf-model behaviour ([lib/cachesim],
+      [lib/memsim]): bump [Mm_cachesim.Sim_version.semantics];
+    - engine scheduling / measurement-window behaviour ([Engine]): bump
+      {!engine_semantics}.
+
+    The serialization schema version
+    ([Engine.measurement_schema_version]) is folded in automatically.
+    Pure refactors with bit-identical output must {e not} bump anything. *)
+
+val core_semantics : int
+
+val engine_semantics : int
+
+val sim_fingerprint : string
+(** E.g. ["core-v1.cachesim-v1.engine-v1.schema-v1"]. *)

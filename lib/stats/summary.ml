@@ -31,6 +31,10 @@ let min t = t.min
 
 let max t = t.max
 
+let dump t = (t.n, t.mean, t.m2, t.min, t.max)
+
+let undump (n, mean, m2, min, max) = { n; mean; m2; min; max }
+
 let merge a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }

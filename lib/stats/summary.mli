@@ -29,3 +29,11 @@ val max : t -> float
 
 val merge : t -> t -> t
 (** Combine two summaries as if all observations were added to one. *)
+
+val dump : t -> int * float * float * float * float
+(** [(n, mean, m2, min, max)] — the full internal state, for
+    serialization.  Inverse of {!undump}. *)
+
+val undump : int * float * float * float * float -> t
+(** Rebuild a summary from {!dump} output; [undump (dump t)] is
+    observationally identical to [t]. *)

@@ -1,0 +1,176 @@
+(* Entry files are self-describing:
+
+     mmstudy-store 1
+     fingerprint <simulator fingerprint>
+     key <canonical configuration string>
+     md5 <hex digest of the payload>
+     bytes <payload length>
+     <payload, exactly that many bytes>
+
+   The digest in the filename is the content address; the header repeats
+   fingerprint and key so a reader can reject hash collisions, entries
+   written by a different simulator version into the same path (cannot
+   happen via this module, but cheap to check), and truncated or
+   hand-edited files; the payload digest catches in-place corruption the
+   length check cannot.  Validation failure is always a miss, never an
+   error — the caller recomputes and overwrites, so the store self-heals. *)
+
+let store_schema_version = 1
+
+let entry_suffix = ".meas"
+
+type t = {
+  dir : string;
+  fingerprint : string;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "MMSTUDY_CACHE_DIR" with
+  | Some d when String.trim d <> "" -> d
+  | Some _ | None -> "_mmstudy_cache"
+
+let open_ ?dir ~fingerprint () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  { dir; fingerprint }
+
+let dir t = t.dir
+
+let fingerprint t = t.fingerprint
+
+let digest_hex t ~key =
+  Digest.to_hex (Digest.string (t.fingerprint ^ "\x00" ^ key))
+
+let entry_path t ~key = Filename.concat t.dir (digest_hex t ~key ^ entry_suffix)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+exception Invalid
+
+let expect_field ic name =
+  let line = input_line ic in
+  let prefix = name ^ " " in
+  let plen = String.length prefix in
+  if String.length line < plen || String.sub line 0 plen <> prefix then
+    raise Invalid;
+  String.sub line plen (String.length line - plen)
+
+let read_entry ic t ~key =
+  if input_line ic <> Printf.sprintf "mmstudy-store %d" store_schema_version
+  then raise Invalid;
+  if expect_field ic "fingerprint" <> t.fingerprint then raise Invalid;
+  if expect_field ic "key" <> key then raise Invalid;
+  let md5 = expect_field ic "md5" in
+  let bytes =
+    match int_of_string_opt (expect_field ic "bytes") with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> raise Invalid
+  in
+  let payload = really_input_string ic bytes in
+  (* Trailing garbage means the file is not what we wrote. *)
+  if pos_in ic <> in_channel_length ic then raise Invalid;
+  if Digest.to_hex (Digest.string payload) <> md5 then raise Invalid;
+  payload
+
+let find t ~key =
+  let path = entry_path t ~key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let result = try Some (read_entry ic t ~key) with _ -> None in
+    close_in_noerr ic;
+    if result <> None then
+      (* Refresh mtime so [gc ~max_bytes] evicts in LRU order. *)
+      (try Unix.utimes path 0.0 0.0 with _ -> ());
+    result
+
+let store t ~key ~data =
+  mkdir_p t.dir;
+  let tmp = Filename.temp_file ~temp_dir:t.dir "tmp-" ".part" in
+  let oc = open_out_bin tmp in
+  (try
+     Printf.fprintf oc
+       "mmstudy-store %d\nfingerprint %s\nkey %s\nmd5 %s\nbytes %d\n"
+       store_schema_version t.fingerprint key
+       (Digest.to_hex (Digest.string data))
+       (String.length data);
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp (entry_path t ~key)
+
+(* --- maintenance ----------------------------------------------------- *)
+
+let entry_files ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
+    |> List.map (Filename.concat dir)
+
+type stats = {
+  entries : int;
+  bytes : int;
+}
+
+let file_size path = try (Unix.stat path).Unix.st_size with _ -> 0
+
+let stats ~dir =
+  let files = entry_files ~dir in
+  {
+    entries = List.length files;
+    bytes = List.fold_left (fun acc f -> acc + file_size f) 0 files;
+  }
+
+let clear ~dir =
+  let entries = entry_files ~dir in
+  let removed =
+    List.fold_left
+      (fun acc f -> match Sys.remove f with () -> acc + 1 | exception _ -> acc)
+      0 entries
+  in
+  (* Stray temp files from interrupted writes are garbage too. *)
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".part" then
+          try Sys.remove (Filename.concat dir f) with _ -> ())
+      files);
+  removed
+
+let gc ~dir ~max_bytes =
+  let entries =
+    List.filter_map
+      (fun path ->
+        match Unix.stat path with
+        | exception _ -> None
+        | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size))
+      (entry_files ~dir)
+  in
+  let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
+  let oldest_first =
+    List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) entries
+  in
+  let removed = ref 0 in
+  let remaining = ref total in
+  List.iter
+    (fun (path, _, sz) ->
+      if !remaining > max_bytes then (
+        match Sys.remove path with
+        | () ->
+          incr removed;
+          remaining := !remaining - sz
+        | exception _ -> ()))
+    oldest_first;
+  !removed

@@ -1,0 +1,450 @@
+(* The persistent measurement store and its serialization layer.
+
+   Covers the storage contract (atomic publish, header validation,
+   fingerprint invalidation, LRU gc), the measurement codec round-trip
+   (property-based, including every Events counter and the full allocator
+   configuration space the ablations sweep), and the Context wiring
+   (memory hit → disk hit → simulate, seed in the identity, in-flight
+   dedup under a racing pool). *)
+
+module Store = Mm_store.Store
+module Ctx = Mm_experiments.Context
+module Engine = Mm_runtime.Engine
+module Version = Mm_runtime.Version
+module Factory = Mm_runtime.Alloc_factory
+module Machine = Mm_cachesim.Machine
+module Events = Mm_cachesim.Events
+module Perf = Mm_cachesim.Perf_model
+module Spec = Mm_workload.Spec
+module Access = Mm_memsim.Access
+module Pool = Mm_sched.Pool
+
+let temp_dir () = Filename.temp_dir "mmstudy-test-store" ""
+
+let fp = "test-fingerprint-v1"
+
+let spec = Spec.mediawiki_ro
+
+(* A store-backed context; tiny scale, 1 core keeps each simulate fast. *)
+let mk_ctx ?store ?refresh ?(seed = 42) () =
+  Ctx.create ~scale:0.02 ~seed ?store ?refresh ()
+
+let force_one ctx =
+  Ctx.run_php ctx ~machine:Machine.xeon ~cores:1 ~kind:Factory.Php_default
+    ~spec ()
+
+(* --- the raw store --------------------------------------------------- *)
+
+let test_store_roundtrip () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  Alcotest.(check (option string)) "miss on empty" None (Store.find s ~key:"k");
+  Store.store s ~key:"k" ~data:"payload\nwith lines";
+  Alcotest.(check (option string))
+    "hit" (Some "payload\nwith lines") (Store.find s ~key:"k");
+  Store.store s ~key:"k" ~data:"v2";
+  Alcotest.(check (option string))
+    "overwrite" (Some "v2") (Store.find s ~key:"k");
+  let st = Store.stats ~dir in
+  Alcotest.(check int) "one entry" 1 st.Store.entries;
+  Alcotest.(check bool) "entry file exists" true
+    (Sys.file_exists (Store.entry_path s ~key:"k"))
+
+let test_store_distinct_keys_and_fingerprints () =
+  let dir = temp_dir () in
+  let a = Store.open_ ~dir ~fingerprint:"A" () in
+  let b = Store.open_ ~dir ~fingerprint:"B" () in
+  Store.store a ~key:"k" ~data:"from-a";
+  Alcotest.(check bool) "digests differ across fingerprints" true
+    (Store.digest_hex a ~key:"k" <> Store.digest_hex b ~key:"k");
+  Alcotest.(check (option string))
+    "fingerprint B cannot see A's entry" None (Store.find b ~key:"k");
+  (* A wrong-fingerprint *file* (A's bytes sitting at B's path) must read
+     as a miss too: the header check, not just the digest, protects us. *)
+  let copy src dst =
+    let ic = open_in_bin src in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    let oc = open_out_bin dst in
+    output_string oc data;
+    close_out oc
+  in
+  copy (Store.entry_path a ~key:"k") (Store.entry_path b ~key:"k");
+  Alcotest.(check (option string))
+    "header fingerprint mismatch is a miss" None (Store.find b ~key:"k");
+  Alcotest.(check (option string))
+    "A still hits" (Some "from-a") (Store.find a ~key:"k")
+
+let corrupt_file path f =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let data = f data in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let test_store_rejects_corruption () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  Store.store s ~key:"k" ~data:"0123456789abcdef";
+  let path = Store.entry_path s ~key:"k" in
+  (* Truncation. *)
+  corrupt_file path (fun d -> String.sub d 0 (String.length d - 5));
+  Alcotest.(check (option string)) "truncated is a miss" None
+    (Store.find s ~key:"k");
+  (* In-place payload flip, length preserved: caught by the payload MD5. *)
+  Store.store s ~key:"k" ~data:"0123456789abcdef";
+  corrupt_file path (fun d ->
+      let b = Bytes.of_string d in
+      Bytes.set b (Bytes.length b - 1) 'X';
+      Bytes.to_string b);
+  Alcotest.(check (option string)) "bit-flipped is a miss" None
+    (Store.find s ~key:"k");
+  (* Garbage from offset 0. *)
+  Store.store s ~key:"k" ~data:"0123456789abcdef";
+  corrupt_file path (fun _ -> "not a store entry at all");
+  Alcotest.(check (option string)) "garbage is a miss" None
+    (Store.find s ~key:"k")
+
+let test_store_stats_clear_gc () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  Store.store s ~key:"a" ~data:(String.make 100 'a');
+  Unix.sleepf 0.02;
+  (* Distinct mtimes so LRU order is deterministic. *)
+  Store.store s ~key:"b" ~data:(String.make 100 'b');
+  Unix.sleepf 0.02;
+  Store.store s ~key:"c" ~data:(String.make 100 'c');
+  let st = Store.stats ~dir in
+  Alcotest.(check int) "three entries" 3 st.Store.entries;
+  Alcotest.(check bool) "bytes counted" true (st.Store.bytes > 300);
+  (* Touch "a" so it becomes the most recently used. *)
+  Alcotest.(check bool) "a hits" true (Store.find s ~key:"a" <> None);
+  let entry_bytes = st.Store.bytes / 3 in
+  let removed = Store.gc ~dir ~max_bytes:(2 * entry_bytes) in
+  Alcotest.(check int) "gc evicted one" 1 removed;
+  Alcotest.(check (option string))
+    "LRU victim was b" None (Store.find s ~key:"b");
+  Alcotest.(check bool) "a survived (recently used)" true
+    (Store.find s ~key:"a" <> None);
+  Alcotest.(check int) "clear removes the rest" 2 (Store.clear ~dir);
+  Alcotest.(check int) "empty after clear" 0 (Store.stats ~dir).Store.entries;
+  Alcotest.(check int) "clear on missing dir" 0
+    (Store.clear ~dir:(Filename.concat dir "nonexistent"))
+
+(* --- measurement codec ----------------------------------------------- *)
+
+(* Floats from raw bit patterns exercise %h on denormals, huge exponents
+   and negative zero; NaN is excluded (it defeats structural equality, and
+   no real measurement produces it). *)
+let gen_float =
+  QCheck.Gen.map
+    (fun (a, b) ->
+      let bits =
+        Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31)
+      in
+      let f = Int64.float_of_bits bits in
+      if Float.is_nan f then float_of_int a else f)
+    QCheck.Gen.(pair int int)
+
+let gen_scheme =
+  QCheck.Gen.oneofl
+    [
+      Core.Size_class.paper ~max_size:16384;
+      Core.Size_class.power_of_two ~max_size:16384;
+      Core.Size_class.fine ~max_size:8192;
+      Core.Size_class.of_sizes ~name:"custom" [| 8; 64; 4096 |];
+    ]
+
+let gen_kind =
+  let open QCheck.Gen in
+  oneof
+    [
+      oneofl
+        [
+          Factory.Dd None;
+          Factory.Region;
+          Factory.Obstack;
+          Factory.Php_default;
+          Factory.Glibc;
+          Factory.Hoard;
+          Factory.Tcmalloc;
+          Factory.Reaps;
+        ];
+      map
+        (fun (scheme, (seg, (pid_off, (lp, reuse)))) ->
+          Factory.Dd
+            (Some
+               {
+                 Core.Ddmalloc.segment_size = seg;
+                 arena_size = 256 * 1024 * 1024;
+                 scheme;
+                 pid_metadata_offset = pid_off;
+                 large_pages = lp;
+                 reuse;
+               }))
+        (pair gen_scheme
+           (pair (oneofl [ 8192; 32768; 131072 ])
+              (pair bool
+                 (pair bool
+                    (oneofl
+                       [
+                         Core.Ddmalloc.Lifo;
+                         Core.Ddmalloc.Fifo;
+                         Core.Ddmalloc.Addr_ordered;
+                       ])))));
+    ]
+
+let gen_events =
+  let open QCheck.Gen in
+  map
+    (fun vals ->
+      let ev = Events.create () in
+      List.iteri
+        (fun i v ->
+          let ctx = List.nth [ Access.Mgmt; Access.App; Access.Kernel ] (i / Events.ncounters) in
+          let counter = List.nth Events.all_counters (i mod Events.ncounters) in
+          Events.add ev ctx counter v)
+        vals;
+      ev)
+    (list_repeat (3 * Events.ncounters) (int_range 0 1_000_000_000))
+
+let gen_summary =
+  let open QCheck.Gen in
+  map
+    (fun xs ->
+      let s = Mm_stats.Summary.create () in
+      List.iter (Mm_stats.Summary.add s) xs;
+      s)
+    (list_size (int_range 0 8) (float_range (-1e9) 1e9))
+
+let gen_measurement =
+  let open QCheck.Gen in
+  let gen_cfg =
+    map
+      (fun ((machine, cores), (kind, (spec, (seed, (restart, bulk))))) ->
+        Engine.config ~machine ~active_cores:cores ~kind ~spec ~scale:0.125
+          ~seed ~restart_period:restart ~use_bulk_free:bulk ())
+      (pair
+         (pair (oneofl [ Machine.xeon; Machine.niagara ]) (int_range 1 8))
+         (pair gen_kind
+            (pair
+               (oneofl (Spec.php_apps @ [ Spec.rails ]))
+               (pair (int_range 0 1000)
+                  (pair (oneofl [ None; Some 10; Some 64 ]) bool)))))
+  in
+  map
+    (fun ((cfg, events), ((txns, perf_floats), (consumption, rates))) ->
+      let p1, p2, p3, p4, p5, p6, p7 =
+        match perf_floats with
+        | [ a; b; c; d; e; f; g ] -> (a, b, c, d, e, f, g)
+        | _ -> assert false
+      in
+      let r1, r2, r3, r4, r5 =
+        match rates with
+        | [ a; b; c; d; e ] -> (a, b, c, d, e)
+        | _ -> assert false
+      in
+      {
+        Engine.cfg;
+        events;
+        txns;
+        perf =
+          {
+            Perf.cycles_per_txn = p1;
+            throughput = p2;
+            breakdown =
+              { Perf.mgmt_cycles = p3; app_cycles = p4; kernel_cycles = p5 };
+            bus_utilization = p6;
+            mem_latency_eff = p7;
+          };
+        throughput = r1;
+        consumption;
+        mallocs_per_txn = r2;
+        frees_per_txn = r3;
+        reallocs_per_txn = r4;
+        mean_alloc_size = r5;
+      })
+    (pair (pair gen_cfg gen_events)
+       (pair
+          (pair (int_range 1 10_000) (list_repeat 7 gen_float))
+          (pair gen_summary (list_repeat 5 gen_float))))
+
+let codec_roundtrip_prop =
+  QCheck.Test.make ~count:300
+    ~name:"measurement codec: of_string (to_string m) = m"
+    (QCheck.make gen_measurement)
+    (fun m ->
+      match Engine.measurement_of_string (Engine.measurement_to_string m) with
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+      | Ok m' ->
+        (* Structural equality covers every Events counter, the full
+           allocator config (scheme arrays included) and all floats; a
+           second encode must also be byte-identical, which is what makes
+           warm renders byte-identical. *)
+        m' = m
+        && Engine.measurement_to_string m' = Engine.measurement_to_string m)
+
+let test_codec_rejects_garbage () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  let check name s =
+    Alcotest.(check bool) name true (is_error (Engine.measurement_of_string s))
+  in
+  check "empty" "";
+  check "junk" "this is not a measurement";
+  let m = force_one (mk_ctx ()) in
+  let good = Engine.measurement_to_string m in
+  check "truncated" (String.sub good 0 (String.length good / 2));
+  check "wrong schema"
+    (Str.global_replace (Str.regexp "mmstudy.measurement 1")
+       "mmstudy.measurement 999" good)
+
+let test_codec_real_measurement () =
+  let m = force_one (mk_ctx ()) in
+  match Engine.measurement_of_string (Engine.measurement_to_string m) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok m' ->
+    Alcotest.(check bool) "round-trips a real engine run" true (m' = m)
+
+(* --- context wiring --------------------------------------------------- *)
+
+let test_seed_in_key () =
+  let k1 =
+    Ctx.php_key (mk_ctx ~seed:1 ()) ~machine:Machine.xeon ~cores:1
+      ~kind:Factory.Php_default ~spec ()
+  in
+  let k2 =
+    Ctx.php_key (mk_ctx ~seed:2 ()) ~machine:Machine.xeon ~cores:1
+      ~kind:Factory.Php_default ~spec ()
+  in
+  Alcotest.(check bool) "key_name distinguishes seeds" true
+    (Ctx.key_name k1 <> Ctx.key_name k2);
+  Alcotest.(check bool) "store_key distinguishes seeds" true
+    (Ctx.store_key k1 <> Ctx.store_key k2)
+
+let test_warm_context_serves_from_disk () =
+  let dir = temp_dir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let cold = mk_ctx ~store () in
+  let m_cold = force_one cold in
+  Alcotest.(check int) "cold simulated" 1 (Ctx.simulated cold);
+  Alcotest.(check int) "cold disk hits" 0 (Ctx.disk_hits cold);
+  Alcotest.(check int) "one entry on disk" 1 (Store.stats ~dir).Store.entries;
+  let warm = mk_ctx ~store () in
+  let m_warm = force_one warm in
+  Alcotest.(check int) "warm simulated" 0 (Ctx.simulated warm);
+  Alcotest.(check int) "warm disk hits" 1 (Ctx.disk_hits warm);
+  Alcotest.(check bool) "warm measurement structurally equal" true
+    (m_warm = m_cold);
+  (* refresh skips reads but still recomputes and rewrites. *)
+  let refresh = mk_ctx ~store ~refresh:true () in
+  let m_r = force_one refresh in
+  Alcotest.(check int) "refresh simulated" 1 (Ctx.simulated refresh);
+  Alcotest.(check bool) "refresh result equal" true (m_r = m_cold)
+
+let test_corrupt_entry_falls_back_to_simulate () =
+  let dir = temp_dir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let cold = mk_ctx ~store () in
+  let m_cold = force_one cold in
+  let key =
+    Ctx.store_key
+      (Ctx.php_key cold ~machine:Machine.xeon ~cores:1
+         ~kind:Factory.Php_default ~spec ())
+  in
+  corrupt_file (Store.entry_path store ~key) (fun d ->
+      String.sub d 0 (String.length d * 2 / 3));
+  let warm = mk_ctx ~store () in
+  let m = force_one warm in
+  Alcotest.(check int) "recomputed, no error" 1 (Ctx.simulated warm);
+  Alcotest.(check int) "no disk hit" 0 (Ctx.disk_hits warm);
+  Alcotest.(check bool) "same result" true (m = m_cold);
+  (* The write-behind healed the entry. *)
+  let healed = mk_ctx ~store () in
+  ignore (force_one healed : Engine.measurement);
+  Alcotest.(check int) "healed entry hits" 1 (Ctx.disk_hits healed)
+
+let test_fingerprint_flip_invalidates () =
+  let dir = temp_dir () in
+  let store_a = Store.open_ ~dir ~fingerprint:"sim-A" () in
+  let ctx_a = mk_ctx ~store:store_a () in
+  ignore (force_one ctx_a : Engine.measurement);
+  Alcotest.(check int) "populated under A" 1 (Store.stats ~dir).Store.entries;
+  (* Same directory, bumped fingerprint: every entry is unreachable. *)
+  let store_b = Store.open_ ~dir ~fingerprint:"sim-B" () in
+  let ctx_b = mk_ctx ~store:store_b () in
+  ignore (force_one ctx_b : Engine.measurement);
+  Alcotest.(check int) "B recomputed" 1 (Ctx.simulated ctx_b);
+  Alcotest.(check int) "B had no disk hit" 0 (Ctx.disk_hits ctx_b);
+  Alcotest.(check int) "both versions coexist" 2 (Store.stats ~dir).Store.entries
+
+let test_racing_workers_simulate_once () =
+  let dir = temp_dir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let ctx = mk_ctx ~store () in
+  let key () =
+    Ctx.php_key ctx ~machine:Machine.xeon ~cores:1 ~kind:Factory.Php_default
+      ~spec ()
+  in
+  (* Two pool workers force the same digest concurrently: the in-flight
+     rendezvous must collapse them to one simulate and one store write. *)
+  let results =
+    Pool.run ~jobs:2 [ (fun () -> Ctx.force ctx (key ())); (fun () -> Ctx.force ctx (key ())) ]
+  in
+  (match results with
+  | [ a; b ] ->
+    Alcotest.(check bool) "both workers share one measurement" true (a == b)
+  | _ -> Alcotest.fail "expected two results");
+  Alcotest.(check int) "exactly one simulate" 1 (Ctx.simulated ctx);
+  Alcotest.(check int) "exactly one store entry" 1
+    (Store.stats ~dir).Store.entries
+
+let test_version_fingerprint_shape () =
+  Alcotest.(check bool) "fingerprint mentions every component" true
+    (let fp = Version.sim_fingerprint in
+     let has s =
+       let re = Str.regexp_string s in
+       try
+         ignore (Str.search_forward re fp 0 : int);
+         true
+       with Not_found -> false
+     in
+     has "core-v" && has "cachesim-v" && has "engine-v" && has "schema-v")
+
+let () =
+  Alcotest.run "mm_store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "keys and fingerprints isolate" `Quick
+            test_store_distinct_keys_and_fingerprints;
+          Alcotest.test_case "corruption read as miss" `Quick
+            test_store_rejects_corruption;
+          Alcotest.test_case "stats / clear / gc" `Quick
+            test_store_stats_clear_gc;
+        ] );
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest codec_roundtrip_prop;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "round-trips a real run" `Quick
+            test_codec_real_measurement;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "seed is part of the key" `Quick test_seed_in_key;
+          Alcotest.test_case "warm context serves from disk" `Quick
+            test_warm_context_serves_from_disk;
+          Alcotest.test_case "corrupt entry falls back to simulate" `Quick
+            test_corrupt_entry_falls_back_to_simulate;
+          Alcotest.test_case "fingerprint flip invalidates" `Quick
+            test_fingerprint_flip_invalidates;
+          Alcotest.test_case "racing workers simulate once" `Quick
+            test_racing_workers_simulate_once;
+          Alcotest.test_case "fingerprint shape" `Quick
+            test_version_fingerprint_shape;
+        ] );
+    ]
