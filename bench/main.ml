@@ -81,7 +81,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let results_json ~timings ~total_s ~warm =
+let results_json ~timings ~total_s ~warm ~serve =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": 2,\n";
@@ -99,6 +99,25 @@ let results_json ~timings ~total_s ~warm =
     Printf.bprintf b "  \"warm_total_seconds\": %.2f,\n" warm_s;
     Printf.bprintf b "  \"warm_speedup\": %.1f,\n"
       (if warm_s > 0.0 then total_s /. warm_s else 0.0));
+  (match serve with
+  | None | Some [] -> ()
+  | Some headlines ->
+    (* The latency headline: per allocator, capacity / max sustained
+       RPS / p99 at 0.8x default capacity (see exp_latency.ml). *)
+    Buffer.add_string b "  \"serve\": [\n";
+    let last = List.length headlines - 1 in
+    List.iteri
+      (fun i h ->
+        let open Mm_experiments.Exp_latency in
+        Printf.bprintf b
+          "    {\"machine\": \"%s\", \"workload\": \"%s\", \"allocator\": \
+           \"%s\", \"capacity_rps\": %.1f, \"max_rps\": %.1f, \
+           \"p99_ms_at_0.8cap\": %.2f}%s\n"
+          (json_escape h.h_machine) (json_escape h.h_spec)
+          (json_escape h.h_alloc) h.h_capacity h.h_max_rps h.h_p99_ms
+          (if i = last then "" else ","))
+      headlines;
+    Buffer.add_string b "  ],\n");
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i (id, s) ->
@@ -109,13 +128,13 @@ let results_json ~timings ~total_s ~warm =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-let write_results ~timings ~total_s ~warm =
+let write_results ~timings ~total_s ~warm ~serve =
   if git_dirty () then
     print_endline
       "*** DIRTY TREE: BENCH_RESULTS.json will carry \"git_dirty\": true —\n\
        *** these numbers are not attributable to a commit.  Commit first\n\
        *** before recording a perf point.";
-  let json = results_json ~timings ~total_s ~warm in
+  let json = results_json ~timings ~total_s ~warm ~serve in
   let oc = open_out "BENCH_RESULTS.json" in
   output_string oc json;
   close_out oc;
@@ -204,9 +223,16 @@ let run_experiments () =
       Some warm_s
     end
   in
+  (* If the latency experiment ran, its sweeps are already memoized in
+     [cold_ctx]; re-deriving the headline rows costs nothing. *)
+  let serve =
+    if List.mem_assoc "latency" timings then
+      Some (Mm_experiments.Exp_latency.headlines cold_ctx)
+    else None
+  in
   ignore (Mm_store.Store.clear ~dir:store_dir : int);
   (try Unix.rmdir store_dir with Unix.Unix_error _ -> ());
-  write_results ~timings ~total_s ~warm
+  write_results ~timings ~total_s ~warm ~serve
 
 (* --- Part 2: Bechamel microbenchmarks of the allocators themselves --- *)
 

@@ -16,14 +16,19 @@ let ctx_of ~scale ~seed ~cache ~refresh ~cache_dir =
   Mm_experiments.Context.create ~scale ~seed ?store ~refresh ()
 
 (* Execution accounting goes to stderr so that a warm (store-served) run
-   stays byte-identical to a cold run on stdout — check.sh diffs them. *)
+   stays byte-identical to a cold run on stdout — check.sh diffs them
+   (and greps the "simulations: N," and "serve sims: N," fields). *)
 let print_exec_summary ctx =
   match Mm_experiments.Context.store ctx with
   | None -> ()
   | Some s ->
-    Printf.eprintf "[mmstudy] simulations: %d, disk hits: %d, store: %s\n%!"
+    Printf.eprintf
+      "[mmstudy] simulations: %d, disk hits: %d, serve sims: %d, serve \
+       hits: %d, store: %s\n%!"
       (Mm_experiments.Context.simulated ctx)
       (Mm_experiments.Context.disk_hits ctx)
+      (Mm_experiments.Context.blob_computed ctx)
+      (Mm_experiments.Context.blob_disk_hits ctx)
       (Store.dir s)
 
 let scale_arg =
@@ -89,7 +94,10 @@ let list_cmd =
     List.iter
       (fun e ->
         Printf.printf "  %-9s %s\n" e.Mm_experiments.Registry.id
-          e.Mm_experiments.Registry.title)
+          e.Mm_experiments.Registry.title;
+        Printf.printf "  %-9s %s [scale %g]\n" ""
+          e.Mm_experiments.Registry.desc
+          e.Mm_experiments.Registry.default_scale)
       Mm_experiments.Registry.all;
     print_endline "\nWorkloads:";
     List.iter
@@ -228,6 +236,223 @@ let sim_cmd =
        $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ refresh_arg
        $ cache_dir_arg))
 
+(* --- the `mmstudy serve` subcommand ---------------------------------- *)
+
+(* Offered-load sweeps on the discrete-event serving simulator
+   (lib/serve), driven through the same memoized pipeline as the
+   experiments: measurements prefetch on the domain pool, the sweeps
+   themselves are cheap, sequential, and memoized as "serve" store
+   payloads — so output is byte-identical at any -j and a warm re-run
+   performs zero simulations of either kind. *)
+let serve_cmd =
+  let machine_arg =
+    let doc = "Machine model: xeon or niagara." in
+    Cmdliner.Arg.(value & opt string "xeon" & info [ "machine" ] ~docv:"M" ~doc)
+  in
+  let cores_arg =
+    let doc = "Serving cores (1 to the machine's core count)." in
+    Cmdliner.Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload (see `mmstudy list`)." in
+    Cmdliner.Arg.(
+      value
+      & opt string "mediawiki-ro"
+      & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let allocs_arg =
+    let doc = "Comma-separated allocators to sweep (see `mmstudy list`)." in
+    Cmdliner.Arg.(
+      value
+      & opt string "php-default,region,ddmalloc"
+      & info [ "alloc" ] ~docv:"A,B,..." ~doc)
+  in
+  let arrival_arg =
+    let doc = "Arrival process: poisson, or bursty (MMPP-2, 4x bursts)." in
+    Cmdliner.Arg.(
+      value & opt string "poisson" & info [ "arrival" ] ~docv:"P" ~doc)
+  in
+  let dispatch_arg =
+    let doc = "Dispatch policy: round-robin, least-loaded, or affinity." in
+    Cmdliner.Arg.(
+      value & opt string "least-loaded" & info [ "dispatch" ] ~docv:"D" ~doc)
+  in
+  let rps_arg =
+    let doc =
+      "Offered load sweep: comma-separated requests/second, or `auto' \
+       (fractions 0.3..1.1 of the default allocator's capacity at the \
+       chosen core count)."
+    in
+    Cmdliner.Arg.(value & opt string "auto" & info [ "rps" ] ~docv:"R,..." ~doc)
+  in
+  let duration_arg =
+    let doc =
+      "Seconds of offered load per sweep point.  The request count is \
+       duration times the highest swept rate, identical across points and \
+       allocators so curves are comparable."
+    in
+    Cmdliner.Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let auto_fractions = [ 0.3; 0.5; 0.7; 0.8; 0.9; 0.95; 1.0; 1.1 ] in
+  let parse_rps s =
+    if s = "auto" then Ok None
+    else
+      let parts = String.split_on_char ',' s in
+      let rates = List.filter_map float_of_string_opt parts in
+      if List.length rates <> List.length parts || rates = [] then
+        Error "--rps must be `auto' or a comma-separated list of numbers"
+      else if List.exists (fun r -> r <= 0.0) rates then
+        Error "--rps rates must be positive"
+      else Ok (Some rates)
+  in
+  let parse_allocs s =
+    let parts = String.split_on_char ',' s in
+    let kinds = List.filter_map Mm_runtime.Alloc_factory.of_name parts in
+    if List.length kinds <> List.length parts || kinds = [] then
+      Error "unknown allocator in --alloc; try `mmstudy list`"
+    else Ok kinds
+  in
+  let run machine cores workload allocs arrival dispatch rps duration scale
+      seed jobs cache refresh cache_dir =
+    let machine_v =
+      match machine with
+      | "xeon" -> Some Mm_cachesim.Machine.xeon
+      | "niagara" -> Some Mm_cachesim.Machine.niagara
+      | _ -> None
+    in
+    match
+      ( machine_v,
+        Mm_workload.Spec.by_name workload,
+        parse_allocs allocs,
+        Mm_serve.Arrival.of_name arrival,
+        Mm_serve.Dispatch.of_name dispatch,
+        parse_rps rps,
+        check_jobs jobs )
+    with
+    | None, _, _, _, _, _, _ -> `Error (false, "unknown machine (xeon | niagara)")
+    | _, None, _, _, _, _, _ -> `Error (false, "unknown workload; try `mmstudy list`")
+    | _, _, Error msg, _, _, _, _ -> `Error (false, msg)
+    | _, _, _, None, _, _, _ -> `Error (false, "unknown arrival (poisson | bursty)")
+    | _, _, _, _, None, _, _ ->
+      `Error (false, "unknown dispatch (round-robin | least-loaded | affinity)")
+    | _, _, _, _, _, Error msg, _ -> `Error (false, msg)
+    | _, _, _, _, _, _, Error msg -> `Error (false, msg)
+    | Some machine, Some _, Ok _, Some _, Some _, Ok _, Ok _
+      when cores < 1 || cores > machine.Mm_cachesim.Machine.cores ->
+      `Error
+        ( false,
+          Printf.sprintf "--cores must be in 1..%d for %s (got %d)"
+            machine.Mm_cachesim.Machine.cores
+            machine.Mm_cachesim.Machine.name cores )
+    | _, _, _, _, _, _, Ok _ when not (duration > 0.0) ->
+      `Error (false, "--duration must be positive")
+    | Some machine, Some spec, Ok kinds, Some arrival, Some dispatch, Ok rps,
+      Ok jobs ->
+      let module Ctx = Mm_experiments.Context in
+      let module Lat = Mm_experiments.Exp_latency in
+      let module Sweep = Mm_serve.Sweep in
+      let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
+      let default_kind = Mm_runtime.Alloc_factory.Php_default in
+      (* The auto grid needs the default allocator's measurement even when
+         it is not swept; plan the union and prefetch on the pool. *)
+      let planned =
+        (if rps = None then [ default_kind ] else [])
+        @ kinds
+        |> List.map (fun kind ->
+               Ctx.php_key ctx ~machine ~cores ~kind ~spec ())
+      in
+      Ctx.prefetch ctx ~jobs planned;
+      let rates =
+        match rps with
+        | Some rates -> rates
+        | None ->
+          let cap =
+            Lat.capacity_of ctx ~machine ~spec ~kind:default_kind ~cores
+          in
+          List.map (fun f -> f *. cap) auto_fractions
+      in
+      let max_rate = List.fold_left Float.max 0.0 rates in
+      let requests =
+        Stdlib.max 200
+          (Stdlib.min 50_000 (int_of_float (duration *. max_rate)))
+      in
+      Printf.printf
+        "Serving %s on %d %s core(s): %s arrivals, %s dispatch, %d requests \
+         per point (seed %d, scale %.2f)\n\n"
+        workload cores machine.Mm_cachesim.Machine.name
+        (Mm_serve.Arrival.name arrival)
+        (Mm_serve.Dispatch.name dispatch)
+        requests seed scale;
+      let summary =
+        Mm_stats.Table.create ~title:"Saturation summary"
+          ~columns:
+            [
+              ("allocator", Mm_stats.Table.Left);
+              ("capacity RPS", Mm_stats.Table.Right);
+              ("max sustained RPS", Mm_stats.Table.Right);
+            ]
+      in
+      List.iter
+        (fun kind ->
+          let name = Mm_runtime.Alloc_factory.kind_name kind in
+          let points =
+            Lat.sweep_points ctx ~machine ~spec ~kind ~cores ~arrival
+              ~dispatch ~requests ~warmup_frac:0.1 ~rates
+          in
+          let t =
+            Mm_stats.Table.create
+              ~title:(Printf.sprintf "%s: latency vs offered load" name)
+              ~columns:
+                [
+                  ("offered RPS", Mm_stats.Table.Right);
+                  ("p50", Mm_stats.Table.Right);
+                  ("p90", Mm_stats.Table.Right);
+                  ("p99", Mm_stats.Table.Right);
+                  ("p99.9", Mm_stats.Table.Right);
+                  ("util", Mm_stats.Table.Right);
+                  ("", Mm_stats.Table.Left);
+                ]
+          in
+          let ms v = Printf.sprintf "%.2f ms" (1000.0 *. v) in
+          List.iter
+            (fun (p : Sweep.point) ->
+              Mm_stats.Table.add_row t
+                [
+                  Printf.sprintf "%.0f" p.Sweep.rate;
+                  ms p.Sweep.p50;
+                  ms p.Sweep.p90;
+                  ms p.Sweep.p99;
+                  ms p.Sweep.p999;
+                  Printf.sprintf "%.2f" p.Sweep.utilization;
+                  (if p.Sweep.saturated then "SATURATED" else "");
+                ])
+            points;
+          Mm_stats.Table.print t;
+          let cap = Lat.capacity_of ctx ~machine ~spec ~kind ~cores in
+          Mm_stats.Table.add_row summary
+            [
+              name;
+              Printf.sprintf "%.0f" cap;
+              (match Sweep.max_sustainable points with
+              | Some r -> Printf.sprintf "%.0f" r
+              | None -> "none (all points saturated)");
+            ])
+        kinds;
+      Mm_stats.Table.print summary;
+      print_exec_summary ctx;
+      `Ok ()
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "serve"
+       ~doc:
+         "Sweep offered load on the discrete-event serving simulator: tail \
+          latency and saturation per allocator.")
+    Cmdliner.Term.(
+      ret
+        (const run $ machine_arg $ cores_arg $ workload_arg $ allocs_arg
+       $ arrival_arg $ dispatch_arg $ rps_arg $ duration_arg $ scale_arg
+       $ seed_arg $ jobs_arg $ cache_arg $ refresh_arg $ cache_dir_arg))
+
 (* --- the `mmstudy cache` maintenance group --------------------------- *)
 
 let cache_cmd =
@@ -240,6 +465,13 @@ let cache_cmd =
       value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
   in
   let resolve_dir dir = Option.value dir ~default:(Store.default_dir ()) in
+  let print_by_kind by_kind =
+    List.iter
+      (fun (kind, n, bytes) ->
+        Printf.printf "  %-12s %d entry(ies), %.2f MB\n" kind n
+          (float_of_int bytes /. 1048576.0))
+      by_kind
+  in
   let stats_cmd =
     let run dir =
       let dir = resolve_dir dir in
@@ -247,6 +479,7 @@ let cache_cmd =
       Printf.printf "store:       %s\n" dir;
       Printf.printf "fingerprint: %s\n" Mm_runtime.Version.sim_fingerprint;
       Printf.printf "entries:     %d\n" s.Store.entries;
+      print_by_kind s.Store.by_kind;
       Printf.printf "bytes:       %d (%.2f MB)\n" s.Store.bytes
         (float_of_int s.Store.bytes /. 1048576.0)
     in
@@ -284,6 +517,7 @@ let cache_cmd =
           s.Store.entries
           (float_of_int s.Store.bytes /. 1048576.0)
           dir;
+        print_by_kind s.Store.by_kind;
         `Ok ()
       end
     in
@@ -305,4 +539,5 @@ let () =
   let info = Cmdliner.Cmd.info "mmstudy" ~version:"1.0.0" ~doc in
   exit
     (Cmdliner.Cmd.eval
-       (Cmdliner.Cmd.group info [ list_cmd; run_cmd; sim_cmd; cache_cmd ]))
+       (Cmdliner.Cmd.group info
+          [ list_cmd; run_cmd; sim_cmd; serve_cmd; cache_cmd ]))

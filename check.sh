@@ -2,8 +2,9 @@
 # Tier-1 check: build, full test suite, a determinism smoke — the
 # plan/execute/render pipeline must print byte-identical output whether
 # the execute stage runs on 1 domain or 4 — a cold/warm store equivalence
-# gate, and a perf smoke that times a small bench run so hot-path
-# regressions show up in CI logs.
+# gate, a serving-simulator gate (deterministic across -j, warm rerun
+# fully store-served), and a perf smoke that times a small bench run so
+# hot-path regressions show up in CI logs.
 set -eu
 
 cd "$(dirname "$0")"
@@ -52,6 +53,31 @@ if ! grep -q 'simulations: 0,' "$warmerr"; then
 fi
 MMSTUDY_CACHE_DIR="$cachedir" $MMSTUDY cache stats
 echo "cold = warm = uncached, 0 warm simulations."
+
+echo "== serve smoke: deterministic across -j, memoized through the store =="
+# A short serving sweep on a fresh store: deterministic at any job count,
+# and a warm rerun must serve both the measurements and the derived
+# sweeps from disk (zero simulations of either kind).
+servedir=$(mktemp -d)
+sj1=$(mktemp) && sj4=$(mktemp) && swarmerr=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr" "$sj1" "$sj4" "$swarmerr"; rm -rf "$cachedir" "$servedir"' EXIT
+SERVE_ARGS="serve --workload mediawiki-ro --scale 0.05 --duration 2"
+MMSTUDY_CACHE_DIR="$servedir" $MMSTUDY $SERVE_ARGS -j 1 > "$sj1" 2>/dev/null
+MMSTUDY_CACHE_DIR="$servedir" $MMSTUDY $SERVE_ARGS -j 4 > "$sj4" 2> "$swarmerr"
+if ! diff -u "$sj1" "$sj4"; then
+  echo "FAIL: serve output differs between -j 1 and -j 4" >&2
+  exit 1
+fi
+if ! grep -q 'simulations: 0,' "$swarmerr" || ! grep -q 'serve sims: 0,' "$swarmerr"; then
+  echo "FAIL: warm serve run recomputed instead of reading the store:" >&2
+  cat "$swarmerr" >&2
+  exit 1
+fi
+if ! grep -q 'SATURATED' "$sj4"; then
+  echo "FAIL: serve sweep never reached saturation (grid should cross capacity)" >&2
+  exit 1
+fi
+echo "serve deterministic across -j; warm rerun 0 simulations, 0 serve sims."
 
 echo "== perf smoke: fig1 at scale 0.05 (wall-clock) =="
 # Not a pass/fail gate — timing on shared CI boxes is too noisy for that —

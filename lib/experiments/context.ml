@@ -41,11 +41,14 @@ type t = {
   seed : int;
   store : Store.t option;  (* read-through / write-behind disk layer *)
   refresh : bool;  (* skip store reads (still write) — force recompute *)
-  lock : Mutex.t;  (* guards cache, inflight, n_simulated, n_disk_hits *)
+  lock : Mutex.t;  (* guards cache, inflight, blob_cache and all counters *)
   cache : (id, Engine.measurement) Hashtbl.t;
   inflight : (id, cell) Hashtbl.t;
+  blob_cache : (string * string, string) Hashtbl.t;  (* (kind, key) *)
   mutable n_simulated : int;
   mutable n_disk_hits : int;
+  mutable n_blob_computed : int;
+  mutable n_blob_disk_hits : int;
 }
 
 let create ?(scale = 0.25) ?(seed = 42) ?store ?(refresh = false) () =
@@ -58,11 +61,16 @@ let create ?(scale = 0.25) ?(seed = 42) ?store ?(refresh = false) () =
     lock = Mutex.create ();
     cache = Hashtbl.create 64;
     inflight = Hashtbl.create 8;
+    blob_cache = Hashtbl.create 16;
     n_simulated = 0;
     n_disk_hits = 0;
+    n_blob_computed = 0;
+    n_blob_disk_hits = 0;
   }
 
 let scale t = t.scale
+
+let seed t = t.seed
 
 let store t = t.store
 
@@ -157,7 +165,7 @@ let write_store t id m =
   | Some s -> (
     try
       Store.store s ~key:(store_key_of_id id)
-        ~data:(Engine.measurement_to_string m)
+        ~data:(Engine.measurement_to_string m) ()
     with Sys_error _ | Unix.Unix_error _ -> ())
   | None -> ()
 
@@ -318,6 +326,65 @@ let prefetch t ~jobs keys =
   Mutex.unlock t.lock;
   ignore
     (Pool.run ~jobs (List.map (fun k () -> ignore (force t k)) fresh) : unit list)
+
+(* --- derived-artifact blobs ------------------------------------------ *)
+
+let blob_computed t =
+  Mutex.lock t.lock;
+  let n = t.n_blob_computed in
+  Mutex.unlock t.lock;
+  n
+
+let blob_disk_hits t =
+  Mutex.lock t.lock;
+  let n = t.n_blob_disk_hits in
+  Mutex.unlock t.lock;
+  n
+
+(* Same lookup discipline as [force] — memory hit → disk hit → compute,
+   with best-effort write-behind — but for opaque derived payloads (serve
+   sweeps).  [valid] guards the disk path: a stored payload the caller's
+   codec rejects is a miss, so blobs self-heal exactly like
+   measurements.  No in-flight rendezvous: blobs are computed by
+   sequential render passes, and the only cost of a rare race is one
+   duplicate computation of a cheap artifact. *)
+let force_blob t ~kind ~key ~valid ~compute =
+  let ck = (kind, key) in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.blob_cache ck with
+  | Some payload ->
+    Mutex.unlock t.lock;
+    payload
+  | None ->
+    Mutex.unlock t.lock;
+    let from_store =
+      match t.store with
+      | Some s when not t.refresh -> (
+        match Store.find s ~key with
+        | Some payload when valid payload -> Some payload
+        | Some _ | None -> None)
+      | Some _ | None -> None
+    in
+    let payload, from_disk =
+      match from_store with
+      | Some p -> (p, true)
+      | None ->
+        let p = compute () in
+        (match t.store with
+        | Some s -> (
+          try Store.store s ~kind ~key ~data:p ()
+          with Sys_error _ | Unix.Unix_error _ -> ())
+        | None -> ());
+        (p, false)
+    in
+    Mutex.lock t.lock;
+    if not (Hashtbl.mem t.blob_cache ck) then begin
+      Hashtbl.add t.blob_cache ck payload;
+      if from_disk then t.n_blob_disk_hits <- t.n_blob_disk_hits + 1
+      else t.n_blob_computed <- t.n_blob_computed + 1
+    end;
+    Mutex.unlock t.lock;
+    payload
 
 let mgmt_fraction (m : Engine.measurement) =
   let p = m.Engine.perf in

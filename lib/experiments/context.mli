@@ -40,6 +40,8 @@ val create :
 
 val scale : t -> float
 
+val seed : t -> int
+
 val store : t -> Mm_store.Store.t option
 
 val php_kinds : Mm_runtime.Alloc_factory.kind list
@@ -113,6 +115,33 @@ val simulated : t -> int
 val disk_hits : t -> int
 (** Number of measurements served from the persistent store instead of
     simulated. *)
+
+(** {2 Derived-artifact blobs}
+
+    Experiments that post-process measurements into a second artifact —
+    the serving simulator's latency sweeps — memoize that artifact here:
+    same memory → disk → compute discipline as {!force}, but over opaque
+    payload strings keyed by the caller, stored with a payload-kind tag
+    so store diagnostics can tell sweeps from measurements. *)
+
+val force_blob :
+  t ->
+  kind:string ->
+  key:string ->
+  valid:(string -> bool) ->
+  compute:(unit -> string) ->
+  string
+(** Memoized derived payload.  [key] must be a canonical string fully
+    determining the payload (include the underlying {!store_key}s and
+    every derivation parameter); [kind] tags the store entry (e.g.
+    ["serve"]); a disk payload failing [valid] is treated as a miss and
+    recomputed.  Respects [refresh] (skip reads, still write). *)
+
+val blob_computed : t -> int
+(** Blobs computed fresh (memo and store misses). *)
+
+val blob_disk_hits : t -> int
+(** Blobs served from the persistent store. *)
 
 (** {2 Memoized run + read (force of an equivalent key)} *)
 

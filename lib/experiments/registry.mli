@@ -12,6 +12,11 @@
 type experiment = {
   id : string;  (** e.g. "fig5", "tab4", "abl-seg" *)
   title : string;
+  desc : string;  (** one line for `mmstudy list` *)
+  default_scale : float;
+      (** the transaction scale `mmstudy run <id>` simulates at by
+          default (experiments that clamp their own scale report the
+          clamped value) *)
   plan : Context.t -> Context.key list;
       (** configurations the render reads; pure, nothing simulated *)
   render : Context.t -> unit;
@@ -21,7 +26,8 @@ type experiment = {
 
 val all : experiment list
 (** In the paper's order: tab1, tab3, fig1, fig5, fig6, fig7, tab4, fig8,
-    fig9, fig10, fig11, fig12, then the ablations. *)
+    fig9, fig10, fig11, fig12, the beyond-the-paper latency experiment,
+    then the ablations. *)
 
 val find : string -> experiment option
 

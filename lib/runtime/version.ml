@@ -7,7 +7,14 @@ let core_semantics = 1
 
 let engine_semantics = 1
 
+(* Semantics of the serving simulator (lib/serve: arrival processes,
+   dispatch, contention table, sweep derivation).  Serve sweeps are
+   derived artifacts of measurements, so their store entries share this
+   fingerprint; a behavioural change to lib/serve must bump this even
+   though the measurement layer is untouched. *)
+let serve_semantics = 1
+
 let sim_fingerprint =
-  Printf.sprintf "core-v%d.cachesim-v%d.engine-v%d.schema-v%d" core_semantics
-    Mm_cachesim.Sim_version.semantics engine_semantics
-    Engine.measurement_schema_version
+  Printf.sprintf "core-v%d.cachesim-v%d.engine-v%d.schema-v%d.serve-v%d"
+    core_semantics Mm_cachesim.Sim_version.semantics engine_semantics
+    Engine.measurement_schema_version serve_semantics

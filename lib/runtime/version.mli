@@ -13,7 +13,9 @@
     - memory-hierarchy or perf-model behaviour ([lib/cachesim],
       [lib/memsim]): bump [Mm_cachesim.Sim_version.semantics];
     - engine scheduling / measurement-window behaviour ([Engine]): bump
-      {!engine_semantics}.
+      {!engine_semantics};
+    - serving-simulator behaviour ([lib/serve]: arrivals, dispatch,
+      contention table, sweep derivation): bump {!serve_semantics}.
 
     The serialization schema version
     ([Engine.measurement_schema_version]) is folded in automatically.
@@ -23,5 +25,7 @@ val core_semantics : int
 
 val engine_semantics : int
 
+val serve_semantics : int
+
 val sim_fingerprint : string
-(** E.g. ["core-v1.cachesim-v1.engine-v1.schema-v1"]. *)
+(** E.g. ["core-v1.cachesim-v1.engine-v1.schema-v1.serve-v1"]. *)

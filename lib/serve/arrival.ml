@@ -1,0 +1,59 @@
+module Rng = Mm_stats.Rng
+
+type kind =
+  | Poisson
+  | Bursty
+
+let all = [ Poisson; Bursty ]
+
+let name = function Poisson -> "poisson" | Bursty -> "bursty"
+
+let of_name n = List.find_opt (fun k -> name k = n) all
+
+(* MMPP-2 parameters.  With equal expected dwell in both states the
+   stationary distribution is (1/2, 1/2), so mean rate
+   (quiet + burst) / 2 = 1 requires quiet = 2 / (1 + burst_factor). *)
+let burst_factor = 4.0
+
+let quiet_rate = 2.0 /. (1.0 +. burst_factor)
+
+let burst_rate = burst_factor *. quiet_rate
+
+(* Mean dwell per state, in unit-rate time (≈ inter-arrival units): long
+   enough that a burst queues noticeably, short enough that a few
+   thousand requests see many state changes. *)
+let dwell_mean = 25.0
+
+let unit_times kind rng n =
+  let times = Array.make n 0.0 in
+  (match kind with
+  | Poisson ->
+    let t = ref 0.0 in
+    for i = 0 to n - 1 do
+      t := !t +. Rng.exponential rng ~mean:1.0;
+      times.(i) <- !t
+    done
+  | Bursty ->
+    (* Exact MMPP simulation via memorylessness: draw the next arrival at
+       the current state's rate; if it falls past the next state switch,
+       move to the switch instant, flip state, and redraw — the discarded
+       partial gap carries no information for an exponential. *)
+    let t = ref 0.0 in
+    let in_burst = ref false in
+    let switch = ref (Rng.exponential rng ~mean:dwell_mean) in
+    let i = ref 0 in
+    while !i < n do
+      let rate = if !in_burst then burst_rate else quiet_rate in
+      let candidate = !t +. Rng.exponential rng ~mean:(1.0 /. rate) in
+      if candidate <= !switch then begin
+        t := candidate;
+        times.(!i) <- candidate;
+        incr i
+      end
+      else begin
+        t := !switch;
+        in_burst := not !in_burst;
+        switch := !switch +. Rng.exponential rng ~mean:dwell_mean
+      end
+    done);
+  times

@@ -1,0 +1,38 @@
+(** Open-loop arrival processes for the serving simulator.
+
+    Arrivals are generated at {e unit mean rate} and the simulator divides
+    every timestamp by the offered rate.  One sequence therefore serves a
+    whole load sweep: raising the rate only compresses the same arrival
+    pattern in time, so latency curves are monotone in load by
+    construction and every sweep point sees statistically identical
+    traffic — the textbook way to compare operating points of an open
+    queueing system.
+
+    [Bursty] is a two-state Markov-modulated Poisson process (MMPP-2): a
+    quiet state and a burst state whose instantaneous rate is
+    {!burst_factor} times higher, with exponentially distributed dwell
+    times in each.  Its stationary mean rate is normalized to 1, so a
+    bursty sweep at rate R offers the same long-run load as a Poisson
+    sweep at rate R — only the short-term variance (and hence queueing)
+    differs. *)
+
+type kind =
+  | Poisson
+  | Bursty
+
+val all : kind list
+
+val name : kind -> string
+(** ["poisson"] | ["bursty"]. *)
+
+val of_name : string -> kind option
+(** Inverse of {!name} for CLI use. *)
+
+val burst_factor : float
+(** Ratio of the burst state's instantaneous rate to the quiet state's. *)
+
+val unit_times : kind -> Mm_stats.Rng.t -> int -> float array
+(** [unit_times kind rng n] is [n] nondecreasing arrival timestamps
+    with unit mean rate, consuming only [rng].  Prefix-stable: the first
+    [m] entries for [n >= m] equal [unit_times kind rng' m] for an
+    equal-state [rng']. *)

@@ -1,0 +1,19 @@
+module Machine = Mm_cachesim.Machine
+module Perf = Mm_cachesim.Perf_model
+module Engine = Mm_runtime.Engine
+
+let service_seconds ~machine ~measurement =
+  let m = measurement in
+  let scale = m.Engine.cfg.Engine.scale in
+  let hz = machine.Machine.clock_ghz *. 1e9 in
+  Array.init machine.Machine.cores (fun i ->
+      let r =
+        Perf.solve ~machine ~active_cores:(i + 1) ~events:m.Engine.events
+          ~txns:m.Engine.txns
+      in
+      (* cycles_per_txn is at the simulated transaction scale; divide by
+         the scale for the full-transaction equivalent, as every
+         reporting path does. *)
+      r.Perf.cycles_per_txn /. scale /. hz)
+
+let capacity ~cores table = float_of_int cores /. table.(cores - 1)

@@ -1,0 +1,36 @@
+(** Service times under multicore contention, from a measurement.
+
+    The serving simulator needs "how long does one transaction take when
+    [k] of the machine's cores are busy at once".  That is exactly the
+    question {!Mm_cachesim.Perf_model.solve} answers: it takes the
+    per-transaction event profile a measurement recorded and solves the
+    shared-bus queueing fixed point at a given active-core count — more
+    busy cores, higher bus utilization, higher effective memory latency,
+    more cycles per transaction.  This module just evaluates that model
+    at every concurrency level once and tabulates it.
+
+    {b Modeling assumption.}  The event profile (cache misses, bus
+    transactions per transaction) is taken from the measurement as-is —
+    i.e. at the cache-sharing configuration it was measured under —
+    and only the bus fixed point is re-solved per concurrency level.
+    Concurrency is sampled when a request {e starts} service and the
+    resulting duration is fixed; in reality a request slows down and
+    speeds up as neighbours come and go.  Both simplifications are
+    conservative smoothings; the headline effect (bandwidth-hungry
+    allocators inflate service time superlinearly with busy cores, so
+    they hit the latency cliff at lower offered load) comes straight
+    from the paper's own model. *)
+
+val service_seconds :
+  machine:Mm_cachesim.Machine.t ->
+  measurement:Mm_runtime.Engine.measurement ->
+  float array
+(** [(service_seconds ~machine ~measurement).(k - 1)] is the wall-clock
+    seconds one full-scale transaction takes when [k] cores are
+    concurrently busy, for [k] in [1 .. machine.cores].  Strictly
+    positive, nondecreasing in [k]. *)
+
+val capacity : cores:int -> float array -> float
+(** [capacity ~cores table] is the saturation throughput of [cores]
+    servers with the all-busy service time: [cores /. table.(cores - 1)]
+    requests per second — the natural scale for offered-load sweeps. *)

@@ -1,0 +1,53 @@
+(** The discrete-event serving simulator: open-loop arrivals dispatched
+    onto per-core FIFO run queues.
+
+    One run plays [requests] arrivals through [cores] servers.  Service
+    demand per request is [service.(k - 1) * m_i] where [k] is the number
+    of concurrently busy cores when the request starts (the contention
+    table from {!Contention.service_seconds}) and [m_i] an exponential
+    mean-1 multiplier fixed per request.  Every run is a pure function of
+    its configuration: arrivals, service multipliers and flow ids are
+    pre-drawn from split {!Mm_stats.Rng} streams seeded by [seed], so a
+    run is deterministic and independent of wall clock, process or domain
+    count.
+
+    Load sweeps reuse {e one} unit-rate arrival sequence scaled by
+    [1 / rate] (see {!Arrival}), so raising the rate compresses the same
+    traffic pattern: sweep points differ only in load, and latency curves
+    are monotone in load by construction. *)
+
+type config = {
+  cores : int;
+  arrival : Arrival.kind;
+  dispatch : Dispatch.policy;
+  rate : float;  (** offered load, requests/second; must be positive *)
+  requests : int;
+  warmup_frac : float;
+      (** leading fraction of requests excluded from the histogram *)
+  seed : int;
+}
+
+type outcome = {
+  o_config : config;
+  hist : Mm_stats.Histogram.t;
+      (** sojourn time (queueing + service), seconds, post-warmup *)
+  measured : int;  (** requests recorded in [hist] *)
+  achieved_rps : float;  (** completions / makespan *)
+  utilization : float;  (** busy core-seconds / (cores × makespan) *)
+  saturated : bool;
+      (** the run could not keep up: completing all requests overran the
+          arrival horizon by more than the drain slack (5% of the
+          horizon, floored at ten all-busy service times so short runs
+          are not flagged for ordinary tail draining), i.e. the backlog
+          grew without bound and sojourn times are departure-rate
+          artifacts *)
+  max_outstanding : int;  (** peak requests in the system at once *)
+}
+
+val run : config -> service:float array -> outcome
+(** [service] is the contention table: [service.(k - 1)] seconds of
+    demand with [k] cores busy; its length must be at least
+    [config.cores] (higher concurrency clamps to the last entry).
+    Raises [Invalid_argument] on a non-positive rate or request count,
+    [warmup_frac] outside [0, 1), or a short/empty/non-positive
+    [service] table. *)

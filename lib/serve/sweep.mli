@@ -1,0 +1,44 @@
+(** Offered-load sweeps and their serialized form.
+
+    A sweep runs the simulator at a list of offered rates — same seed,
+    same unit-rate arrival pattern, same service table — and condenses
+    each run to a {!point}: the latency quantiles and saturation verdict
+    the experiment tables and the CLI print.
+
+    Points serialize to a versioned line format with [%h] hex floats,
+    mirroring the measurement codec: a decoded sweep is bit-identical to
+    the one encoded, so store-served sweeps render byte-identically to
+    fresh simulations.  {!of_string} never raises — malformed, truncated
+    or wrong-version payloads are an [Error], which store readers treat
+    as a miss. *)
+
+type point = {
+  rate : float;  (** offered load, requests/second *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;  (** sojourn-time quantiles, seconds *)
+  lat_max : float;  (** worst measured sojourn, seconds *)
+  achieved_rps : float;
+  utilization : float;
+  measured : int;
+  saturated : bool;
+}
+
+val schema_version : int
+(** Bumped on any change to the point format; serve payloads also embed
+    [Version.sim_fingerprint] via the store digest, so either bump
+    invalidates stored sweeps. *)
+
+val point_of_outcome : Sim.outcome -> point
+
+val run : Sim.config -> service:float array -> rates:float list -> point list
+(** One {!Sim.run} per rate ([Sim.config.rate] is overridden), in order. *)
+
+val max_sustainable : point list -> float option
+(** Highest offered rate the system kept up with ([saturated = false]);
+    [None] if every point saturated. *)
+
+val points_to_string : point list -> string
+
+val points_of_string : string -> (point list, string) result

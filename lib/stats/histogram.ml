@@ -1,0 +1,104 @@
+type t = {
+  min_value : float;
+  precision : float;
+  log_growth : float;  (* log (1 + precision), cached *)
+  mutable counts : int array;  (* grown on demand, power-of-two sizing *)
+  mutable used : int;  (* highest occupied bucket index + 1 *)
+  mutable n : int;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(min_value = 1e-6) ?(precision = 0.01) () =
+  if min_value <= 0.0 || not (Float.is_finite min_value) then
+    invalid_arg "Histogram.create: min_value must be positive";
+  if precision <= 0.0 || not (Float.is_finite precision) then
+    invalid_arg "Histogram.create: precision must be positive";
+  {
+    min_value;
+    precision;
+    log_growth = log1p precision;
+    counts = Array.make 64 0;
+    used = 0;
+    n = 0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let precision t = t.precision
+
+(* Bucket 0 holds (-inf, min_value]; bucket i >= 1 holds
+   (min_value * g^(i-1), min_value * g^i]. *)
+let bucket_index t v =
+  if v <= t.min_value then 0
+  else 1 + int_of_float (Float.floor (log (v /. t.min_value) /. t.log_growth))
+
+let bucket_upper t i =
+  if i = 0 then t.min_value else t.min_value *. exp (float_of_int i *. t.log_growth)
+
+let ensure_capacity t i =
+  if i >= Array.length t.counts then begin
+    let cap = ref (Array.length t.counts) in
+    while i >= !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Array.make !cap 0 in
+    Array.blit t.counts 0 bigger 0 t.used;
+    t.counts <- bigger
+  end
+
+let add t v =
+  if not (Float.is_finite v) || v < 0.0 then
+    invalid_arg "Histogram.add: value must be finite and non-negative";
+  let i = bucket_index t v in
+  ensure_capacity t i;
+  t.counts.(i) <- t.counts.(i) + 1;
+  if i + 1 > t.used then t.used <- i + 1;
+  t.n <- t.n + 1;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+
+let min_recorded t = if t.n = 0 then 0.0 else t.vmin
+
+let max_recorded t = if t.n = 0 then 0.0 else t.vmax
+
+let quantile t p =
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg "Histogram.quantile: p must be in [0, 1]";
+  if t.n = 0 then 0.0
+  else begin
+    let rank =
+      Stdlib.max 1
+        (Stdlib.min t.n (int_of_float (Float.ceil (p *. float_of_int t.n))))
+    in
+    let i = ref 0 in
+    let seen = ref t.counts.(0) in
+    while !seen < rank do
+      incr i;
+      seen := !seen + t.counts.(!i)
+    done;
+    Float.max t.vmin (Float.min t.vmax (bucket_upper t !i))
+  end
+
+let same_geometry a b = a.min_value = b.min_value && a.precision = b.precision
+
+let merge a b =
+  if not (same_geometry a b) then
+    invalid_arg "Histogram.merge: geometry mismatch";
+  let used = Stdlib.max a.used b.used in
+  let m = create ~min_value:a.min_value ~precision:a.precision () in
+  ensure_capacity m (Stdlib.max 0 (used - 1));
+  for i = 0 to used - 1 do
+    let c =
+      (if i < a.used then a.counts.(i) else 0)
+      + if i < b.used then b.counts.(i) else 0
+    in
+    m.counts.(i) <- c
+  done;
+  m.used <- used;
+  m.n <- a.n + b.n;
+  m.vmin <- Float.min a.vmin b.vmin;
+  m.vmax <- Float.max a.vmax b.vmax;
+  m

@@ -1,0 +1,55 @@
+(** HDR-style log-bucketed histogram of non-negative values.
+
+    Latency distributions span many orders of magnitude (microseconds at
+    light load, minutes past saturation), so buckets grow geometrically:
+    bucket [i >= 1] covers [(lo * g^(i-1), lo * g^i]] where [g = 1 +
+    precision], and everything at or below [lo] lands in bucket 0.  A
+    reported quantile is the upper bound of its bucket clamped to the
+    recorded min/max, so its relative error is at most one bucket width
+    ([precision]) — the HdrHistogram guarantee, at a fraction of the
+    memory of recording every sample.
+
+    The structure is deterministic: identical insertion multisets produce
+    identical buckets, counts and quantiles regardless of order, which is
+    what lets the serving simulator render byte-identical output at any
+    [--jobs] count.  Histograms with the same geometry {!merge}
+    associatively and commutatively (bucket counts add; min/max combine),
+    so per-core or per-shard recordings compose exactly. *)
+
+type t
+
+val create : ?min_value:float -> ?precision:float -> unit -> t
+(** [min_value] (default [1e-6]) is the resolution floor: smaller values
+    are still counted, in the underflow bucket.  [precision] (default
+    [0.01]) bounds the relative quantile error; buckets per decade ≈
+    [ln 10 / precision].  Raises [Invalid_argument] if [min_value <= 0]
+    or [precision <= 0]. *)
+
+val add : t -> float -> unit
+(** Record one value.  Negative and non-finite values raise
+    [Invalid_argument] — a latency is never negative, and silently
+    absorbing NaN would corrupt every later quantile. *)
+
+val count : t -> int
+
+val min_recorded : t -> float
+(** Smallest value recorded; [0.0] when empty. *)
+
+val max_recorded : t -> float
+(** Largest value recorded; [0.0] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [[0, 1]]: an upper bound for the value at
+    rank [ceil (p * count)], tight to one bucket width and clamped to
+    [[min_recorded, max_recorded]].  [0.0] when the histogram is empty.
+    Monotone in [p].  Raises [Invalid_argument] outside [[0, 1]]. *)
+
+val same_geometry : t -> t -> bool
+
+val merge : t -> t -> t
+(** Combine two histograms of the same geometry into a fresh one (inputs
+    unchanged).  Associative and commutative up to structural equality.
+    Raises [Invalid_argument] on a geometry mismatch. *)
+
+val precision : t -> float
+(** The relative-error bound this histogram was created with. *)

@@ -1,8 +1,9 @@
 (* Entry files are self-describing:
 
-     mmstudy-store 1
+     mmstudy-store 2
      fingerprint <simulator fingerprint>
      key <canonical configuration string>
+     kind <payload kind, e.g. "measurement" or "serve">
      md5 <hex digest of the payload>
      bytes <payload length>
      <payload, exactly that many bytes>
@@ -12,10 +13,15 @@
    written by a different simulator version into the same path (cannot
    happen via this module, but cheap to check), and truncated or
    hand-edited files; the payload digest catches in-place corruption the
-   length check cannot.  Validation failure is always a miss, never an
-   error — the caller recomputes and overwrites, so the store self-heals. *)
+   length check cannot.  The kind tag is diagnostic only — it keeps
+   [stats]/gc output legible as payload types grow — and does not
+   participate in the digest: the canonical key already identifies the
+   payload.  Validation failure is always a miss, never an error — the
+   caller recomputes and overwrites, so the store self-heals. *)
 
-let store_schema_version = 1
+let store_schema_version = 2
+
+let default_kind = "measurement"
 
 let entry_suffix = ".meas"
 
@@ -65,6 +71,7 @@ let read_entry ic t ~key =
   then raise Invalid;
   if expect_field ic "fingerprint" <> t.fingerprint then raise Invalid;
   if expect_field ic "key" <> key then raise Invalid;
+  ignore (expect_field ic "kind" : string);
   let md5 = expect_field ic "md5" in
   let bytes =
     match int_of_string_opt (expect_field ic "bytes") with
@@ -89,14 +96,14 @@ let find t ~key =
       (try Unix.utimes path 0.0 0.0 with _ -> ());
     result
 
-let store t ~key ~data =
+let store t ?(kind = default_kind) ~key ~data () =
   mkdir_p t.dir;
   let tmp = Filename.temp_file ~temp_dir:t.dir "tmp-" ".part" in
   let oc = open_out_bin tmp in
   (try
      Printf.fprintf oc
-       "mmstudy-store %d\nfingerprint %s\nkey %s\nmd5 %s\nbytes %d\n"
-       store_schema_version t.fingerprint key
+       "mmstudy-store %d\nfingerprint %s\nkey %s\nkind %s\nmd5 %s\nbytes %d\n"
+       store_schema_version t.fingerprint key kind
        (Digest.to_hex (Digest.string data))
        (String.length data);
      output_string oc data;
@@ -120,16 +127,53 @@ let entry_files ~dir =
 type stats = {
   entries : int;
   bytes : int;
+  by_kind : (string * int * int) list;
 }
 
 let file_size path = try (Unix.stat path).Unix.st_size with _ -> 0
 
+(* Best-effort kind of one entry file, for maintenance listings: schema-1
+   entries predate the tag and were all measurements; anything
+   unparseable is "unknown" (it also reads as a miss). *)
+let entry_kind path =
+  match open_in_bin path with
+  | exception Sys_error _ -> "unknown"
+  | ic ->
+    let kind =
+      try
+        match input_line ic with
+        | "mmstudy-store 1" -> default_kind
+        | first when first = Printf.sprintf "mmstudy-store %d" store_schema_version
+          ->
+          ignore (expect_field ic "fingerprint" : string);
+          ignore (expect_field ic "key" : string);
+          expect_field ic "kind"
+        | _ -> "unknown"
+      with _ -> "unknown"
+    in
+    close_in_noerr ic;
+    kind
+
 let stats ~dir =
   let files = entry_files ~dir in
-  {
-    entries = List.length files;
-    bytes = List.fold_left (fun acc f -> acc + file_size f) 0 files;
-  }
+  let tally = Hashtbl.create 4 in
+  let bytes =
+    List.fold_left
+      (fun acc f ->
+        let sz = file_size f in
+        let kind = entry_kind f in
+        let n, b =
+          Option.value (Hashtbl.find_opt tally kind) ~default:(0, 0)
+        in
+        Hashtbl.replace tally kind (n + 1, b + sz);
+        acc + sz)
+      0 files
+  in
+  let by_kind =
+    Hashtbl.fold (fun kind (n, b) acc -> (kind, n, b) :: acc) tally []
+    |> List.sort compare
+  in
+  { entries = List.length files; bytes; by_kind }
 
 let clear ~dir =
   let entries = entry_files ~dir in

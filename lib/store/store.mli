@@ -55,11 +55,20 @@ val find : t -> key:string -> string option
     header).  A hit refreshes the entry's mtime so {!gc} approximates
     LRU. *)
 
-val store : t -> key:string -> data:string -> unit
+val default_kind : string
+(** ["measurement"] — the payload kind assumed when {!store} is not told
+    otherwise, and the kind attributed to pre-tag (schema 1) entries by
+    {!stats}. *)
+
+val store : t -> ?kind:string -> key:string -> data:string -> unit -> unit
 (** Atomically publish [data] under [key], overwriting any existing
-    entry.  Raises [Sys_error]/[Unix.Unix_error] only for environmental
-    failures (permissions, disk full); callers doing write-behind may
-    treat those as best-effort. *)
+    entry.  [kind] (default {!default_kind}) tags the entry header with
+    the payload type — e.g. ["serve"] for serving-simulator sweeps — so
+    {!stats} and gc diagnostics stay legible as payload types grow; it
+    does not affect the digest or retrieval.  Raises
+    [Sys_error]/[Unix.Unix_error] only for environmental failures
+    (permissions, disk full); callers doing write-behind may treat those
+    as best-effort. *)
 
 (** {2 Maintenance — operate on a directory, not an open store}
 
@@ -69,6 +78,10 @@ val store : t -> key:string -> data:string -> unit
 type stats = {
   entries : int;
   bytes : int;  (** total size of all entry files *)
+  by_kind : (string * int * int) list;
+      (** per payload kind: (kind, entries, bytes), sorted by kind.
+          Schema-1 entries count as {!default_kind}; unparseable files
+          count as ["unknown"]. *)
 }
 
 val stats : dir:string -> stats

@@ -1,0 +1,455 @@
+(* Tests for lib/serve: arrival processes, dispatch policies, the
+   discrete-event loop, the sweep codec, and the end-to-end claim the
+   subsystem exists for — the region allocator hits the latency cliff at
+   lower offered load than default on 8 Xeon cores. *)
+
+module Rng = Mm_stats.Rng
+module Arrival = Mm_serve.Arrival
+module Dispatch = Mm_serve.Dispatch
+module Contention = Mm_serve.Contention
+module Sim = Mm_serve.Sim
+module Sweep = Mm_serve.Sweep
+module Ctx = Mm_experiments.Context
+module Lat = Mm_experiments.Exp_latency
+module Factory = Mm_runtime.Alloc_factory
+module Machine = Mm_cachesim.Machine
+module Spec = Mm_workload.Spec
+
+(* --- Arrival --- *)
+
+let test_arrival_nondecreasing () =
+  List.iter
+    (fun kind ->
+      let t = Arrival.unit_times kind (Rng.create ~seed:7) 5000 in
+      Alcotest.(check int) "length" 5000 (Array.length t);
+      for i = 1 to Array.length t - 1 do
+        if t.(i) < t.(i - 1) then
+          Alcotest.failf "%s: decreasing at %d" (Arrival.name kind) i
+      done;
+      if t.(0) < 0.0 then Alcotest.fail "negative timestamp")
+    Arrival.all
+
+let test_arrival_unit_mean_rate () =
+  (* n arrivals at unit mean rate span ~n time units — for the MMPP too,
+     whose stationary rate is normalized to 1. *)
+  List.iter
+    (fun kind ->
+      let n = 40_000 in
+      let t = Arrival.unit_times kind (Rng.create ~seed:11) n in
+      let rate = float_of_int n /. t.(n - 1) in
+      if Float.abs (rate -. 1.0) > 0.08 then
+        Alcotest.failf "%s: mean rate %.3f not ~1" (Arrival.name kind) rate)
+    Arrival.all
+
+let test_arrival_deterministic () =
+  List.iter
+    (fun kind ->
+      let a = Arrival.unit_times kind (Rng.create ~seed:3) 1000 in
+      let b = Arrival.unit_times kind (Rng.create ~seed:3) 1000 in
+      Alcotest.(check bool) "same sequence" true (a = b))
+    Arrival.all
+
+let test_arrival_prefix_stable () =
+  List.iter
+    (fun kind ->
+      let long = Arrival.unit_times kind (Rng.create ~seed:5) 1000 in
+      let short = Arrival.unit_times kind (Rng.create ~seed:5) 100 in
+      Alcotest.(check bool) "prefix" true
+        (Array.sub long 0 100 = short))
+    Arrival.all
+
+let test_arrival_bursty_is_burstier () =
+  (* Squared coefficient of variation of interarrival gaps: 1 for
+     Poisson, above 1 for the MMPP. *)
+  let scv kind =
+    let n = 40_000 in
+    let t = Arrival.unit_times kind (Rng.create ~seed:13) n in
+    let s = Mm_stats.Summary.create () in
+    for i = 1 to n - 1 do
+      Mm_stats.Summary.add s (t.(i) -. t.(i - 1))
+    done;
+    let m = Mm_stats.Summary.mean s in
+    Mm_stats.Summary.variance s /. (m *. m)
+  in
+  let poisson = scv Arrival.Poisson and bursty = scv Arrival.Bursty in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty scv %.2f > poisson scv %.2f +20%%" bursty poisson)
+    true
+    (bursty > poisson *. 1.2)
+
+let test_arrival_names_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "roundtrip" true
+        (Arrival.of_name (Arrival.name k) = Some k))
+    Arrival.all;
+  Alcotest.(check bool) "unknown" true (Arrival.of_name "weibull" = None)
+
+(* --- Dispatch --- *)
+
+let test_dispatch_round_robin_cycles () =
+  let d = Dispatch.create Dispatch.Round_robin ~cores:3 in
+  let picks =
+    List.init 7 (fun _ -> Dispatch.pick d ~load:(fun _ -> 0) ~flow:0)
+  in
+  Alcotest.(check (list int)) "cycle" [ 0; 1; 2; 0; 1; 2; 0 ] picks
+
+let test_dispatch_least_loaded () =
+  let d = Dispatch.create Dispatch.Least_loaded ~cores:4 in
+  let loads = [| 3; 1; 0; 2 |] in
+  Alcotest.(check int) "min load" 2
+    (Dispatch.pick d ~load:(fun i -> loads.(i)) ~flow:0);
+  (* Ties break to the lowest index. *)
+  let flat = [| 1; 1; 1; 1 |] in
+  Alcotest.(check int) "tie to lowest" 0
+    (Dispatch.pick d ~load:(fun i -> flat.(i)) ~flow:0)
+
+let test_dispatch_affinity () =
+  let d = Dispatch.create Dispatch.Affinity ~cores:4 in
+  List.iter
+    (fun flow ->
+      Alcotest.(check int)
+        (Printf.sprintf "flow %d" flow)
+        (flow mod 4)
+        (Dispatch.pick d ~load:(fun _ -> 0) ~flow))
+    [ 0; 1; 5; 11 ]
+
+let test_dispatch_names_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true
+        (Dispatch.of_name (Dispatch.name p) = Some p))
+    Dispatch.all
+
+(* --- Sim --- *)
+
+let flat_service cores s = Array.make cores s
+
+let cfg ?(cores = 1) ?(arrival = Arrival.Poisson)
+    ?(dispatch = Dispatch.Round_robin) ?(rate = 50.0) ?(requests = 2000)
+    ?(warmup_frac = 0.1) ?(seed = 42) () =
+  { Sim.cores; arrival; dispatch; rate; requests; warmup_frac; seed }
+
+let test_sim_validation () =
+  let raises c service =
+    match Sim.run c ~service with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  let service = flat_service 1 0.01 in
+  Alcotest.(check bool) "rate 0" true (raises (cfg ~rate:0.0 ()) service);
+  Alcotest.(check bool) "cores 0" true (raises (cfg ~cores:0 ()) service);
+  Alcotest.(check bool) "requests 0" true
+    (raises (cfg ~requests:0 ()) service);
+  Alcotest.(check bool) "warmup 1.0" true
+    (raises (cfg ~warmup_frac:1.0 ()) service);
+  Alcotest.(check bool) "short table" true
+    (raises (cfg ~cores:2 ()) service);
+  Alcotest.(check bool) "negative service" true
+    (raises (cfg ()) (flat_service 1 (-0.01)))
+
+let test_sim_accounting () =
+  let c = cfg ~requests:1000 ~warmup_frac:0.1 () in
+  let o = Sim.run c ~service:(flat_service 1 0.01) in
+  Alcotest.(check int) "measured excludes warmup" 900 o.Sim.measured;
+  Alcotest.(check int) "histogram count" 900
+    (Mm_stats.Histogram.count o.Sim.hist);
+  Alcotest.(check bool) "achieved positive" true (o.Sim.achieved_rps > 0.0);
+  Alcotest.(check bool) "utilization in (0, 1]" true
+    (o.Sim.utilization > 0.0 && o.Sim.utilization <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "outstanding >= 1" true (o.Sim.max_outstanding >= 1)
+
+let test_sim_deterministic () =
+  let run () =
+    Sweep.point_of_outcome
+      (Sim.run
+         (cfg ~cores:4 ~dispatch:Dispatch.Least_loaded ~rate:300.0 ())
+         ~service:(flat_service 4 0.01))
+  in
+  Alcotest.(check bool) "identical points" true (run () = run ())
+
+let test_sim_saturation_boundaries () =
+  (* One core, 10 ms flat service: capacity is 100 req/s exactly. *)
+  let service = flat_service 1 0.01 in
+  let at rate =
+    (Sim.run (cfg ~rate ~requests:4000 ()) ~service).Sim.saturated
+  in
+  Alcotest.(check bool) "well below capacity" false (at 50.0);
+  Alcotest.(check bool) "well above capacity" true (at 200.0)
+
+let test_sim_p99_monotone_in_load () =
+  (* Single FIFO queue, flat service: compressing the same arrival
+     sequence can only increase every sojourn, so p99 is nondecreasing
+     in the offered rate. *)
+  List.iter
+    (fun arrival ->
+      let service = flat_service 1 0.01 in
+      let rates = [ 30.0; 50.0; 70.0; 85.0; 95.0 ] in
+      let points =
+        Sweep.run (cfg ~arrival ~requests:3000 ()) ~service ~rates
+      in
+      let p99s = List.map (fun p -> p.Sweep.p99) points in
+      let rec check_mono = function
+        | a :: (b :: _ as rest) ->
+          if a > b +. 1e-12 then
+            Alcotest.failf "%s: p99 fell from %g to %g"
+              (Arrival.name arrival) a b;
+          check_mono rest
+        | _ -> ()
+      in
+      check_mono p99s)
+    Arrival.all
+
+let test_sim_contention_hurts () =
+  (* A table that inflates with concurrency yields higher p99 at high
+     load than a flat table with the same single-core service time. *)
+  let flat = flat_service 4 0.01 in
+  let inflating = [| 0.01; 0.012; 0.016; 0.024 |] in
+  let run service rate =
+    (Sweep.point_of_outcome
+       (Sim.run
+          (cfg ~cores:4 ~dispatch:Dispatch.Least_loaded ~rate ~requests:3000 ())
+          ~service))
+      .Sweep.p99
+  in
+  let rate = 300.0 in
+  Alcotest.(check bool) "contention raises p99" true
+    (run inflating rate > run flat rate)
+
+(* --- Sweep codec --- *)
+
+let gen_point =
+  QCheck.Gen.(
+    let pos = float_range 1e-9 1e6 in
+    let* rate = pos in
+    let* p50 = pos in
+    let* p90 = pos in
+    let* p99 = pos in
+    let* p999 = pos in
+    let* lat_max = pos in
+    let* achieved_rps = pos in
+    let* utilization = float_range 0.0 1.0 in
+    let* measured = int_range 0 1_000_000 in
+    let* saturated = bool in
+    return
+      {
+        Sweep.rate;
+        p50;
+        p90;
+        p99;
+        p999;
+        lat_max;
+        achieved_rps;
+        utilization;
+        measured;
+        saturated;
+      })
+
+let prop_sweep_codec_roundtrip =
+  QCheck.Test.make ~name:"sweep codec: decode (encode pts) = pts"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 20) gen_point))
+    (fun points ->
+      match Sweep.points_of_string (Sweep.points_to_string points) with
+      | Ok decoded -> decoded = points
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let test_sweep_codec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Sweep.points_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "mmstudy.serve 999\npoints 0";
+      "mmstudy.serve 1\npoints 2\npoint rate=0x1p0";
+      "mmstudy.serve 1\npoints x";
+      "not a sweep at all";
+      (let good =
+         Sweep.points_to_string
+           [
+             {
+               Sweep.rate = 1.0;
+               p50 = 1.0;
+               p90 = 1.0;
+               p99 = 1.0;
+               p999 = 1.0;
+               lat_max = 1.0;
+               achieved_rps = 1.0;
+               utilization = 0.5;
+               measured = 10;
+               saturated = false;
+             };
+           ]
+       in
+       String.sub good 0 (String.length good - 4));
+    ]
+
+let test_sweep_max_sustainable () =
+  let mk rate saturated =
+    {
+      Sweep.rate;
+      p50 = 0.0;
+      p90 = 0.0;
+      p99 = 0.0;
+      p999 = 0.0;
+      lat_max = 0.0;
+      achieved_rps = rate;
+      utilization = 0.5;
+      measured = 1;
+      saturated;
+    }
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "highest unsaturated" (Some 80.0)
+    (Sweep.max_sustainable [ mk 50.0 false; mk 80.0 false; mk 100.0 true ]);
+  Alcotest.(check (option (float 1e-9)))
+    "all saturated" None
+    (Sweep.max_sustainable [ mk 50.0 true; mk 100.0 true ]);
+  Alcotest.(check (option (float 1e-9))) "empty" None (Sweep.max_sustainable [])
+
+(* --- Contention + end-to-end (engine-backed, small scale) --- *)
+
+(* Scale 0.08, like test_experiments' paper-claim tests: the region
+   penalty (and hence its capacity gap) needs the working set to
+   overflow the shared caches, which a tiny scale suppresses — the same
+   sensitivity fig9's render warns about. *)
+let ctx = Ctx.create ~scale:0.08 ()
+
+let machine = Machine.xeon
+
+let spec = Spec.mediawiki_ro
+
+let measurement kind = Ctx.run_php ctx ~machine ~cores:8 ~kind ~spec ()
+
+let test_contention_table_shape () =
+  let service =
+    Contention.service_seconds ~machine
+      ~measurement:(measurement Factory.Php_default)
+  in
+  Alcotest.(check int) "one entry per core" machine.Machine.cores
+    (Array.length service);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "positive finite" true
+        (s > 0.0 && Float.is_finite s))
+    service;
+  for k = 1 to Array.length service - 1 do
+    if service.(k) < service.(k - 1) *. 0.999 then
+      Alcotest.failf "service time fell at k=%d: %g -> %g" (k + 1)
+        service.(k - 1) service.(k)
+  done
+
+let test_region_capacity_lower () =
+  (* The headline: the region allocator's bus traffic inflates all-busy
+     service time, so its saturation throughput is measurably below
+     default's and DDmalloc's on 8 Xeon cores. *)
+  let cap kind =
+    Contention.capacity ~cores:8
+      (Contention.service_seconds ~machine ~measurement:(measurement kind))
+  in
+  let d = cap Factory.Php_default in
+  let r = cap Factory.Region in
+  let m = cap (Factory.Dd None) in
+  Alcotest.(check bool)
+    (Printf.sprintf "region capacity (%.0f) < 0.9 x default (%.0f)" r d)
+    true
+    (r < d *. 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "dd capacity (%.0f) >= default (%.0f) x0.95" m d)
+    true
+    (m >= d *. 0.95)
+
+let test_region_saturates_first () =
+  (* Sweep both allocators on default's rate grid: at 0.9 x default's
+     capacity the region allocator is saturated, default is not. *)
+  let sweep kind rates =
+    Lat.sweep_points ctx ~machine ~spec ~kind ~cores:8
+      ~arrival:Arrival.Poisson ~dispatch:Dispatch.Least_loaded ~requests:2000
+      ~warmup_frac:0.1 ~rates
+  in
+  let cap_d =
+    Lat.capacity_of ctx ~machine ~spec ~kind:Factory.Php_default ~cores:8
+  in
+  let rates = [ 0.5 *. cap_d; 0.9 *. cap_d ] in
+  let max_rps kind = Sweep.max_sustainable (sweep kind rates) in
+  let d = max_rps Factory.Php_default in
+  let r = max_rps Factory.Region in
+  Alcotest.(check (option (float 1e-6)))
+    "default sustains 0.9 x its capacity" (Some (0.9 *. cap_d)) d;
+  Alcotest.(check bool) "region saturated by then" true
+    (match r with
+    | None -> true
+    | Some rps -> rps < 0.9 *. cap_d -. 1e-6)
+
+let test_sweep_blob_memoized () =
+  (* Same parameters twice: the second call must be served from the
+     in-memory blob cache, not recomputed. *)
+  let call () =
+    Lat.sweep_points ctx ~machine ~spec ~kind:Factory.Php_default ~cores:8
+      ~arrival:Arrival.Bursty ~dispatch:Dispatch.Round_robin ~requests:500
+      ~warmup_frac:0.1
+      ~rates:[ 10.0; 20.0 ]
+  in
+  let a = call () in
+  let computed = Ctx.blob_computed ctx in
+  let b = call () in
+  Alcotest.(check int) "no recompute" computed (Ctx.blob_computed ctx);
+  Alcotest.(check bool) "identical points" true (a = b)
+
+let () =
+  Alcotest.run "mm_serve"
+    [
+      ( "arrival",
+        [
+          Alcotest.test_case "nondecreasing" `Quick test_arrival_nondecreasing;
+          Alcotest.test_case "unit mean rate" `Quick
+            test_arrival_unit_mean_rate;
+          Alcotest.test_case "deterministic" `Quick test_arrival_deterministic;
+          Alcotest.test_case "prefix stable" `Quick test_arrival_prefix_stable;
+          Alcotest.test_case "bursty is burstier" `Quick
+            test_arrival_bursty_is_burstier;
+          Alcotest.test_case "names roundtrip" `Quick
+            test_arrival_names_roundtrip;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "round robin cycles" `Quick
+            test_dispatch_round_robin_cycles;
+          Alcotest.test_case "least loaded" `Quick test_dispatch_least_loaded;
+          Alcotest.test_case "affinity" `Quick test_dispatch_affinity;
+          Alcotest.test_case "names roundtrip" `Quick
+            test_dispatch_names_roundtrip;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "validation" `Quick test_sim_validation;
+          Alcotest.test_case "accounting" `Quick test_sim_accounting;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "saturation boundaries" `Quick
+            test_sim_saturation_boundaries;
+          Alcotest.test_case "p99 monotone in load" `Quick
+            test_sim_p99_monotone_in_load;
+          Alcotest.test_case "contention hurts" `Quick
+            test_sim_contention_hurts;
+        ] );
+      ( "sweep",
+        [
+          QCheck_alcotest.to_alcotest prop_sweep_codec_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_sweep_codec_rejects_garbage;
+          Alcotest.test_case "max sustainable" `Quick
+            test_sweep_max_sustainable;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "contention table shape" `Slow
+            test_contention_table_shape;
+          Alcotest.test_case "region capacity lower" `Slow
+            test_region_capacity_lower;
+          Alcotest.test_case "region saturates first" `Slow
+            test_region_saturates_first;
+          Alcotest.test_case "sweep blob memoized" `Slow
+            test_sweep_blob_memoized;
+        ] );
+    ]

@@ -281,6 +281,140 @@ let test_fixed_point_constant () =
   let v = Fixed_point.solve ~init:100.0 (fun _ -> 7.0) in
   check_close ~eps:1e-6 "constant map" 7.0 v
 
+(* --- Histogram --- *)
+
+module Histogram = Mm_stats.Histogram
+
+let hist_of l =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) l;
+  h
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  check_float "min" 0.0 (Histogram.min_recorded h);
+  check_float "max" 0.0 (Histogram.max_recorded h);
+  check_float "quantile" 0.0 (Histogram.quantile h 0.5);
+  check_float "quantile 1" 0.0 (Histogram.quantile h 1.0)
+
+let test_hist_single_value () =
+  let h = hist_of [ 0.25 ] in
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  check_float "min" 0.25 (Histogram.min_recorded h);
+  check_float "max" 0.25 (Histogram.max_recorded h);
+  (* The clamp makes every quantile of a single sample exact. *)
+  List.iter
+    (fun p -> check_float "quantile is the value" 0.25 (Histogram.quantile h p))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_hist_underflow_bucket () =
+  (* Values at or below min_value are still counted. *)
+  let h = hist_of [ 1e-9; 1e-8; 5.0 ] in
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  check_float "min" 1e-9 (Histogram.min_recorded h);
+  Alcotest.(check bool) "p50 in range" true
+    (Histogram.quantile h 0.5 >= 1e-9 && Histogram.quantile h 0.5 <= 5.0)
+
+let test_hist_rejects_bad_values () =
+  let h = Histogram.create () in
+  let raises v =
+    match Histogram.add h v with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative" true (raises (-1.0));
+  Alcotest.(check bool) "nan" true (raises Float.nan);
+  Alcotest.(check bool) "inf" true (raises Float.infinity);
+  Alcotest.(check int) "nothing recorded" 0 (Histogram.count h)
+
+let test_hist_rejects_bad_quantile () =
+  let h = hist_of [ 1.0 ] in
+  let raises p =
+    match Histogram.quantile h p with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "p < 0" true (raises (-0.1));
+  Alcotest.(check bool) "p > 1" true (raises 1.1);
+  Alcotest.(check bool) "nan" true (raises Float.nan)
+
+let test_hist_geometry_mismatch () =
+  let a = Histogram.create ~precision:0.01 () in
+  let b = Histogram.create ~precision:0.02 () in
+  Alcotest.(check bool) "not same geometry" false (Histogram.same_geometry a b);
+  match Histogram.merge a b with
+  | _ -> Alcotest.fail "merge across geometries should raise"
+  | exception Invalid_argument _ -> ()
+
+(* QCheck generators: positive latencies well above the 1e-6 underflow
+   floor, so the relative-error guarantee applies. *)
+let gen_latencies =
+  QCheck.(list_of_size Gen.(int_range 1 200) (float_range 1e-3 1e3))
+
+let hist_quantile_grid = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ]
+
+let prop_hist_quantiles_ordered =
+  QCheck.Test.make ~name:"histogram: quantiles monotone, p50<=p99<=max"
+    gen_latencies (fun xs ->
+      let h = hist_of xs in
+      let qs = List.map (Histogram.quantile h) hist_quantile_grid in
+      let rec ordered = function
+        | a :: (b :: _ as rest) -> a <= b && ordered rest
+        | _ -> true
+      in
+      ordered qs
+      && Histogram.quantile h 0.5 <= Histogram.quantile h 0.99
+      && Histogram.quantile h 0.99 <= Histogram.max_recorded h
+      && Histogram.min_recorded h <= Histogram.quantile h 0.0)
+
+let prop_hist_relative_error =
+  QCheck.Test.make
+    ~name:"histogram: quantile within one bucket of the exact order statistic"
+    gen_latencies (fun xs ->
+      let h = hist_of xs in
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let rank =
+            Stdlib.max 1
+              (Stdlib.min n (int_of_float (Float.ceil (p *. float_of_int n))))
+          in
+          let exact = sorted.(rank - 1) in
+          let q = Histogram.quantile h p in
+          (* Upper bound of the exact value's bucket, so: never below the
+             exact order statistic, never more than one bucket above. *)
+          q >= exact *. (1.0 -. 1e-9)
+          && q <= exact *. (1.0 +. Histogram.precision h) *. (1.0 +. 1e-9))
+        [ 0.5; 0.9; 0.99; 1.0 ])
+
+let hist_observables h =
+  ( Histogram.count h,
+    Histogram.min_recorded h,
+    Histogram.max_recorded h,
+    List.map (Histogram.quantile h) hist_quantile_grid )
+
+let prop_hist_merge_associative =
+  QCheck.Test.make ~name:"histogram: merge associative and commutative"
+    QCheck.(triple gen_latencies gen_latencies gen_latencies)
+    (fun (xs, ys, zs) ->
+      let a () = hist_of xs and b () = hist_of ys and c () = hist_of zs in
+      let left = Histogram.merge (Histogram.merge (a ()) (b ())) (c ()) in
+      let right = Histogram.merge (a ()) (Histogram.merge (b ()) (c ())) in
+      let swapped = Histogram.merge (b ()) (a ()) in
+      hist_observables left = hist_observables right
+      && hist_observables swapped
+         = hist_observables (Histogram.merge (a ()) (b ())))
+
+let prop_hist_merge_is_union =
+  QCheck.Test.make ~name:"histogram: merge equals adding the union"
+    QCheck.(pair gen_latencies gen_latencies)
+    (fun (xs, ys) ->
+      let m = Histogram.merge (hist_of xs) (hist_of ys) in
+      hist_observables m = hist_observables (hist_of (xs @ ys)))
+
 (* --- QCheck properties --- *)
 
 let prop_summary_bounds =
@@ -338,6 +472,11 @@ let qcheck_cases =
     [ prop_summary_bounds; prop_merge_commutes; prop_dist_positive_sizes;
       prop_zipf_in_range ]
 
+let hist_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_hist_quantiles_ordered; prop_hist_relative_error;
+      prop_hist_merge_associative; prop_hist_merge_is_union ]
+
 let () =
   Alcotest.run "mm_stats"
     [
@@ -387,5 +526,17 @@ let () =
           Alcotest.test_case "linear" `Quick test_fixed_point_linear;
           Alcotest.test_case "constant" `Quick test_fixed_point_constant;
         ] );
+      ( "histogram",
+        Alcotest.test_case "empty" `Quick test_hist_empty
+        :: Alcotest.test_case "single value" `Quick test_hist_single_value
+        :: Alcotest.test_case "underflow bucket" `Quick
+             test_hist_underflow_bucket
+        :: Alcotest.test_case "rejects bad values" `Quick
+             test_hist_rejects_bad_values
+        :: Alcotest.test_case "rejects bad quantile" `Quick
+             test_hist_rejects_bad_quantile
+        :: Alcotest.test_case "geometry mismatch" `Quick
+             test_hist_geometry_mismatch
+        :: hist_qcheck_cases );
       ("properties", qcheck_cases);
     ]

@@ -39,10 +39,10 @@ let test_store_roundtrip () =
   let dir = temp_dir () in
   let s = Store.open_ ~dir ~fingerprint:fp () in
   Alcotest.(check (option string)) "miss on empty" None (Store.find s ~key:"k");
-  Store.store s ~key:"k" ~data:"payload\nwith lines";
+  Store.store s ~key:"k" ~data:"payload\nwith lines" ();
   Alcotest.(check (option string))
     "hit" (Some "payload\nwith lines") (Store.find s ~key:"k");
-  Store.store s ~key:"k" ~data:"v2";
+  Store.store s ~key:"k" ~data:"v2" ();
   Alcotest.(check (option string))
     "overwrite" (Some "v2") (Store.find s ~key:"k");
   let st = Store.stats ~dir in
@@ -54,7 +54,7 @@ let test_store_distinct_keys_and_fingerprints () =
   let dir = temp_dir () in
   let a = Store.open_ ~dir ~fingerprint:"A" () in
   let b = Store.open_ ~dir ~fingerprint:"B" () in
-  Store.store a ~key:"k" ~data:"from-a";
+  Store.store a ~key:"k" ~data:"from-a" ();
   Alcotest.(check bool) "digests differ across fingerprints" true
     (Store.digest_hex a ~key:"k" <> Store.digest_hex b ~key:"k");
   Alcotest.(check (option string))
@@ -88,14 +88,14 @@ let corrupt_file path f =
 let test_store_rejects_corruption () =
   let dir = temp_dir () in
   let s = Store.open_ ~dir ~fingerprint:fp () in
-  Store.store s ~key:"k" ~data:"0123456789abcdef";
+  Store.store s ~key:"k" ~data:"0123456789abcdef" ();
   let path = Store.entry_path s ~key:"k" in
   (* Truncation. *)
   corrupt_file path (fun d -> String.sub d 0 (String.length d - 5));
   Alcotest.(check (option string)) "truncated is a miss" None
     (Store.find s ~key:"k");
   (* In-place payload flip, length preserved: caught by the payload MD5. *)
-  Store.store s ~key:"k" ~data:"0123456789abcdef";
+  Store.store s ~key:"k" ~data:"0123456789abcdef" ();
   corrupt_file path (fun d ->
       let b = Bytes.of_string d in
       Bytes.set b (Bytes.length b - 1) 'X';
@@ -103,7 +103,7 @@ let test_store_rejects_corruption () =
   Alcotest.(check (option string)) "bit-flipped is a miss" None
     (Store.find s ~key:"k");
   (* Garbage from offset 0. *)
-  Store.store s ~key:"k" ~data:"0123456789abcdef";
+  Store.store s ~key:"k" ~data:"0123456789abcdef" ();
   corrupt_file path (fun _ -> "not a store entry at all");
   Alcotest.(check (option string)) "garbage is a miss" None
     (Store.find s ~key:"k")
@@ -111,12 +111,12 @@ let test_store_rejects_corruption () =
 let test_store_stats_clear_gc () =
   let dir = temp_dir () in
   let s = Store.open_ ~dir ~fingerprint:fp () in
-  Store.store s ~key:"a" ~data:(String.make 100 'a');
+  Store.store s ~key:"a" ~data:(String.make 100 'a') ();
   Unix.sleepf 0.02;
   (* Distinct mtimes so LRU order is deterministic. *)
-  Store.store s ~key:"b" ~data:(String.make 100 'b');
+  Store.store s ~key:"b" ~data:(String.make 100 'b') ();
   Unix.sleepf 0.02;
-  Store.store s ~key:"c" ~data:(String.make 100 'c');
+  Store.store s ~key:"c" ~data:(String.make 100 'c') ();
   let st = Store.stats ~dir in
   Alcotest.(check int) "three entries" 3 st.Store.entries;
   Alcotest.(check bool) "bytes counted" true (st.Store.bytes > 300);
@@ -133,6 +133,45 @@ let test_store_stats_clear_gc () =
   Alcotest.(check int) "empty after clear" 0 (Store.stats ~dir).Store.entries;
   Alcotest.(check int) "clear on missing dir" 0
     (Store.clear ~dir:(Filename.concat dir "nonexistent"))
+
+let test_store_kind_tags () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  (* Default kind is "measurement"; "serve" entries are tagged but live
+     in the same namespace and digest scheme. *)
+  Store.store s ~key:"m1" ~data:"measurement-payload" ();
+  Store.store s ~key:"m2" ~data:"another" ~kind:Store.default_kind ();
+  Store.store s ~key:"s1" ~data:"sweep-payload" ~kind:"serve" ();
+  Alcotest.(check (option string))
+    "serve entry readable" (Some "sweep-payload") (Store.find s ~key:"s1");
+  Alcotest.(check (option string))
+    "measurement entry readable" (Some "measurement-payload")
+    (Store.find s ~key:"m1");
+  let st = Store.stats ~dir in
+  Alcotest.(check int) "three entries total" 3 st.Store.entries;
+  let count kind =
+    match List.find_opt (fun (k, _, _) -> k = kind) st.Store.by_kind with
+    | Some (_, n, _) -> n
+    | None -> 0
+  in
+  Alcotest.(check int) "two measurement entries" 2
+    (count Store.default_kind);
+  Alcotest.(check int) "one serve entry" 1 (count "serve");
+  let bytes_sum =
+    List.fold_left (fun acc (_, _, b) -> acc + b) 0 st.Store.by_kind
+  in
+  Alcotest.(check int) "by_kind bytes sum to total" st.Store.bytes bytes_sum;
+  (* The kind is diagnostic only: rewriting the same key under a new
+     kind re-tags the same address. *)
+  Store.store s ~key:"s1" ~data:"sweep-payload" ~kind:Store.default_kind ();
+  let st = Store.stats ~dir in
+  Alcotest.(check int) "still three entries" 3 st.Store.entries;
+  let count kind =
+    match List.find_opt (fun (k, _, _) -> k = kind) st.Store.by_kind with
+    | Some (_, n, _) -> n
+    | None -> 0
+  in
+  Alcotest.(check int) "re-tagged to measurement" 3 (count Store.default_kind)
 
 (* --- measurement codec ----------------------------------------------- *)
 
@@ -401,6 +440,40 @@ let test_racing_workers_simulate_once () =
   Alcotest.(check int) "exactly one store entry" 1
     (Store.stats ~dir).Store.entries
 
+let test_blob_layer () =
+  let dir = temp_dir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let valid s = String.length s > 0 && s.[0] = 'P' in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    "Payload"
+  in
+  let force ctx = Ctx.force_blob ctx ~kind:"serve" ~key:"blob-k" ~valid ~compute in
+  let cold = mk_ctx ~store () in
+  Alcotest.(check string) "computed" "Payload" (force cold);
+  Alcotest.(check string) "memory hit" "Payload" (force cold);
+  Alcotest.(check int) "one compute" 1 !computes;
+  Alcotest.(check int) "ctx counted one" 1 (Ctx.blob_computed cold);
+  Alcotest.(check int) "no disk hit yet" 0 (Ctx.blob_disk_hits cold);
+  (* A fresh context finds the write-behind on disk. *)
+  let warm = mk_ctx ~store () in
+  Alcotest.(check string) "disk hit" "Payload" (force warm);
+  Alcotest.(check int) "no recompute" 1 !computes;
+  Alcotest.(check int) "warm disk hit counted" 1 (Ctx.blob_disk_hits warm);
+  (* A stored payload failing [valid] is a miss: recompute and heal. *)
+  Store.store store ~key:"blob-k" ~data:"corrupt" ~kind:"serve" ();
+  let healed = mk_ctx ~store () in
+  Alcotest.(check string) "invalid payload recomputed" "Payload" (force healed);
+  Alcotest.(check int) "recompute happened" 2 !computes;
+  let again = mk_ctx ~store () in
+  Alcotest.(check string) "healed on disk" "Payload" (force again);
+  Alcotest.(check int) "healed serves from disk" 2 !computes;
+  (* refresh skips the read but rewrites. *)
+  let refresh = mk_ctx ~store ~refresh:true () in
+  Alcotest.(check string) "refresh recomputes" "Payload" (force refresh);
+  Alcotest.(check int) "refresh computed" 3 !computes
+
 let test_version_fingerprint_shape () =
   Alcotest.(check bool) "fingerprint mentions every component" true
     (let fp = Version.sim_fingerprint in
@@ -411,7 +484,8 @@ let test_version_fingerprint_shape () =
          true
        with Not_found -> false
      in
-     has "core-v" && has "cachesim-v" && has "engine-v" && has "schema-v")
+     has "core-v" && has "cachesim-v" && has "engine-v" && has "schema-v"
+     && has "serve-v")
 
 let () =
   Alcotest.run "mm_store"
@@ -425,6 +499,7 @@ let () =
             test_store_rejects_corruption;
           Alcotest.test_case "stats / clear / gc" `Quick
             test_store_stats_clear_gc;
+          Alcotest.test_case "payload kind tags" `Quick test_store_kind_tags;
         ] );
       ( "codec",
         [
@@ -444,6 +519,7 @@ let () =
             test_fingerprint_flip_invalidates;
           Alcotest.test_case "racing workers simulate once" `Quick
             test_racing_workers_simulate_once;
+          Alcotest.test_case "blob layer" `Quick test_blob_layer;
           Alcotest.test_case "fingerprint shape" `Quick
             test_version_fingerprint_shape;
         ] );
