@@ -81,7 +81,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let results_json ~timings ~total_s ~warm ~serve =
+let results_json ~timings ~total_s ~warm ~serve ~resilience =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": 2,\n";
@@ -118,6 +118,25 @@ let results_json ~timings ~total_s ~warm ~serve =
           (if i = last then "" else ","))
       headlines;
     Buffer.add_string b "  ],\n");
+  (match resilience with
+  | None | Some [] -> ()
+  | Some headlines ->
+    (* The overload headline: collapse onset (fraction of default's
+       capacity; 0 = none inside the grid) and retry amplification at
+       1.0x capacity (see exp_resilience.ml). *)
+    Buffer.add_string b "  \"resilience\": [\n";
+    let last = List.length headlines - 1 in
+    List.iteri
+      (fun i h ->
+        let open Mm_experiments.Exp_resilience in
+        Printf.bprintf b
+          "    {\"machine\": \"%s\", \"allocator\": \"%s\", \
+           \"collapse_frac\": %.2f, \"amplification_at_cap\": %.2f}%s\n"
+          (json_escape h.r_machine) (json_escape h.r_alloc) h.r_collapse_frac
+          h.r_amp_at_cap
+          (if i = last then "" else ","))
+      headlines;
+    Buffer.add_string b "  ],\n");
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i (id, s) ->
@@ -128,13 +147,13 @@ let results_json ~timings ~total_s ~warm ~serve =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-let write_results ~timings ~total_s ~warm ~serve =
+let write_results ~timings ~total_s ~warm ~serve ~resilience =
   if git_dirty () then
     print_endline
       "*** DIRTY TREE: BENCH_RESULTS.json will carry \"git_dirty\": true —\n\
        *** these numbers are not attributable to a commit.  Commit first\n\
        *** before recording a perf point.";
-  let json = results_json ~timings ~total_s ~warm ~serve in
+  let json = results_json ~timings ~total_s ~warm ~serve ~resilience in
   let oc = open_out "BENCH_RESULTS.json" in
   output_string oc json;
   close_out oc;
@@ -230,9 +249,14 @@ let run_experiments () =
       Some (Mm_experiments.Exp_latency.headlines cold_ctx)
     else None
   in
+  let resilience =
+    if List.mem_assoc "resilience" timings then
+      Some (Mm_experiments.Exp_resilience.headlines cold_ctx)
+    else None
+  in
   ignore (Mm_store.Store.clear ~dir:store_dir : int);
   (try Unix.rmdir store_dir with Unix.Unix_error _ -> ());
-  write_results ~timings ~total_s ~warm ~serve
+  write_results ~timings ~total_s ~warm ~serve ~resilience
 
 (* --- Part 2: Bechamel microbenchmarks of the allocators themselves --- *)
 

@@ -4,6 +4,7 @@
    and run a single simulation configuration with a detailed profile. *)
 
 module Store = Mm_store.Store
+module Fault = Mm_fault.Fault
 
 let ctx_of ~scale ~seed ~cache ~refresh ~cache_dir =
   let store =
@@ -24,11 +25,15 @@ let print_exec_summary ctx =
   | Some s ->
     Printf.eprintf
       "[mmstudy] simulations: %d, disk hits: %d, serve sims: %d, serve \
-       hits: %d, store: %s\n%!"
+       hits: %d, store errors: %d%s, store: %s\n%!"
       (Mm_experiments.Context.simulated ctx)
       (Mm_experiments.Context.disk_hits ctx)
       (Mm_experiments.Context.blob_computed ctx)
       (Mm_experiments.Context.blob_disk_hits ctx)
+      (Mm_experiments.Context.store_errors ctx)
+      (if Mm_experiments.Context.store_degraded ctx then
+         " (store degraded: running in-memory)"
+       else "")
       (Store.dir s)
 
 let scale_arg =
@@ -88,6 +93,28 @@ let cache_dir_arg =
   Cmdliner.Arg.(
     value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
+let fault_seed_arg =
+  let doc =
+    "Enable deterministic fault injection (I/O errors, torn writes, worker \
+     crashes) with this plan seed.  Faults change counters and timing, \
+     never results — retries and recomputation absorb them.  Equivalent to \
+     setting \\$MM_FAULT_SEED."
+  in
+  Cmdliner.Arg.(
+    value & opt (some int) None & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let apply_fault_seed fault_seed =
+  Option.iter (fun seed -> Fault.configure ~seed ()) fault_seed
+
+(* --no-cache asks for no store at all; flags that only make sense with a
+   store are conflicts, not silent no-ops. *)
+let check_cache_flags ~cache ~refresh ~cache_dir =
+  if (not cache) && refresh then
+    Error "--no-cache conflicts with --refresh (nothing to refresh)"
+  else if (not cache) && cache_dir <> None then
+    Error "--no-cache conflicts with --cache-dir (no store will be opened)"
+  else Ok ()
+
 let list_cmd =
   let run () =
     print_endline "Experiments (ids for `mmstudy run`):";
@@ -123,25 +150,24 @@ let run_cmd =
     Cmdliner.Arg.(
       required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run id scale seed jobs cache refresh cache_dir =
-    match check_jobs jobs with
-    | Error msg -> `Error (false, msg)
-    | Ok jobs -> (
-      let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
-      if id = "all" then begin
-        Mm_experiments.Registry.run_all ~jobs ctx;
+  let run id scale seed jobs cache refresh cache_dir fault_seed =
+    match (check_jobs jobs, check_cache_flags ~cache ~refresh ~cache_dir) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok jobs, Ok () -> (
+      if id <> "all" && Option.is_none (Mm_experiments.Registry.find id) then
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; valid ids: %s" id
+              (String.concat ", " (Mm_experiments.Registry.ids @ [ "all" ])) )
+      else begin
+        apply_fault_seed fault_seed;
+        let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
+        (match Mm_experiments.Registry.find id with
+        | Some e -> Mm_experiments.Registry.run ~jobs ctx e
+        | None -> Mm_experiments.Registry.run_all ~jobs ctx);
         print_exec_summary ctx;
         `Ok ()
-      end
-      else
-        match Mm_experiments.Registry.find id with
-        | Some e ->
-          Mm_experiments.Registry.run ~jobs ctx e;
-          print_exec_summary ctx;
-          `Ok ()
-        | None ->
-          `Error
-            (false, Printf.sprintf "unknown experiment %S; try `mmstudy list`" id))
+      end)
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run"
@@ -149,7 +175,7 @@ let run_cmd =
     Cmdliner.Term.(
       ret
         (const run $ id_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
-       $ refresh_arg $ cache_dir_arg))
+       $ refresh_arg $ cache_dir_arg $ fault_seed_arg))
 
 let sim_cmd =
   let machine_arg =
@@ -171,7 +197,7 @@ let sim_cmd =
       value & opt string "mediawiki-ro" & info [ "workload" ] ~docv:"W" ~doc)
   in
   let run machine cores alloc workload scale seed jobs cache refresh cache_dir
-      =
+      fault_seed =
     let machine_v =
       match machine with
       | "xeon" -> Some Mm_cachesim.Machine.xeon
@@ -182,20 +208,37 @@ let sim_cmd =
       ( machine_v,
         Mm_runtime.Alloc_factory.of_name alloc,
         Mm_workload.Spec.by_name workload,
-        check_jobs jobs )
+        check_jobs jobs,
+        check_cache_flags ~cache ~refresh ~cache_dir )
     with
-    | None, _, _, _ -> `Error (false, "unknown machine (xeon | niagara)")
-    | _, None, _, _ -> `Error (false, "unknown allocator; try `mmstudy list`")
-    | _, _, None, _ -> `Error (false, "unknown workload; try `mmstudy list`")
-    | _, _, _, Error msg -> `Error (false, msg)
-    | Some machine, Some _, Some _, Ok _
+    | None, _, _, _, _ ->
+      `Error
+        (false, Printf.sprintf "unknown machine %S; valid: xeon, niagara" machine)
+    | _, None, _, _, _ ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown allocator %S; valid: %s" alloc
+            (String.concat ", "
+               (List.map Mm_runtime.Alloc_factory.kind_name
+                  Mm_runtime.Alloc_factory.all_kinds)) )
+    | _, _, None, _, _ ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown workload %S; valid: %s" workload
+            (String.concat ", "
+               (List.map
+                  (fun s -> s.Mm_workload.Spec.name)
+                  (Mm_workload.Spec.php_apps @ [ Mm_workload.Spec.rails ]))) )
+    | _, _, _, Error msg, _ | _, _, _, _, Error msg -> `Error (false, msg)
+    | Some machine, Some _, Some _, Ok _, Ok ()
       when cores < 1 || cores > machine.Mm_cachesim.Machine.cores ->
       `Error
         ( false,
           Printf.sprintf "--cores must be in 1..%d for %s (got %d)"
             machine.Mm_cachesim.Machine.cores
             machine.Mm_cachesim.Machine.name cores )
-    | Some machine, Some kind, Some spec, Ok jobs ->
+    | Some machine, Some kind, Some spec, Ok jobs, Ok () ->
+      apply_fault_seed fault_seed;
       let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
       let key =
         Mm_experiments.Context.php_key ctx ~machine ~cores ~kind ~spec ()
@@ -234,7 +277,7 @@ let sim_cmd =
       ret
         (const run $ machine_arg $ cores_arg $ alloc_arg $ workload_arg
        $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ refresh_arg
-       $ cache_dir_arg))
+       $ cache_dir_arg $ fault_seed_arg))
 
 (* --- the `mmstudy serve` subcommand ---------------------------------- *)
 
@@ -293,6 +336,30 @@ let serve_cmd =
     in
     Cmdliner.Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"S" ~doc)
   in
+  let timeout_arg =
+    let doc =
+      "Client deadline in seconds (0 = no deadline).  A request still \
+       queued or in service past its deadline counts as a timeout and the \
+       client retries (see --retries)."
+    in
+    Cmdliner.Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Client retries after a timeout or shed, with capped exponential \
+       backoff and jitter (0 = give up immediately)."
+    in
+    Cmdliner.Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let admission_arg =
+    let doc =
+      "Admission control: `always' (admit everything), `queue:N' (shed \
+       when the picked core already holds N requests), or `deadline-aware' \
+       (shed when the queue's expected wait already exceeds the deadline)."
+    in
+    Cmdliner.Arg.(
+      value & opt string "always" & info [ "admission" ] ~docv:"POLICY" ~doc)
+  in
   let auto_fractions = [ 0.3; 0.5; 0.7; 0.8; 0.9; 0.95; 1.0; 1.1 ] in
   let parse_rps s =
     if s = "auto" then Ok None
@@ -309,11 +376,34 @@ let serve_cmd =
     let parts = String.split_on_char ',' s in
     let kinds = List.filter_map Mm_runtime.Alloc_factory.of_name parts in
     if List.length kinds <> List.length parts || kinds = [] then
-      Error "unknown allocator in --alloc; try `mmstudy list`"
+      Error
+        (Printf.sprintf "unknown allocator in --alloc %S; valid: %s" s
+           (String.concat ", "
+              (List.map Mm_runtime.Alloc_factory.kind_name
+                 Mm_runtime.Alloc_factory.all_kinds)))
     else Ok kinds
   in
-  let run machine cores workload allocs arrival dispatch rps duration scale
-      seed jobs cache refresh cache_dir =
+  (* All-default policy flags mean the plain simulator: Policy.none, not
+     an equivalent [make] product, so the blob key (and thus warm-store
+     behavior) of a policy-free `mmstudy serve` is unchanged. *)
+  let parse_policy ~timeout ~retries ~admission =
+    match Mm_serve.Policy.admission_of_name admission with
+    | Error msg -> Error msg
+    | Ok _ when timeout < 0.0 -> Error "--timeout must be >= 0 seconds"
+    | Ok _ when retries < 0 -> Error "--retries must be >= 0"
+    | Ok adm ->
+      if timeout = 0.0 && retries = 0 && adm = Mm_serve.Policy.Always then
+        Ok Mm_serve.Policy.none
+      else
+        Ok
+          (match timeout with
+          | 0.0 -> Mm_serve.Policy.make ~max_retries:retries ~admission:adm ()
+          | d ->
+            Mm_serve.Policy.make ~deadline:d ~max_retries:retries
+              ~admission:adm ())
+  in
+  let run machine cores workload allocs arrival dispatch rps duration timeout
+      retries admission scale seed jobs cache refresh cache_dir fault_seed =
     let machine_v =
       match machine with
       | "xeon" -> Some Mm_cachesim.Machine.xeon
@@ -329,12 +419,30 @@ let serve_cmd =
         parse_rps rps,
         check_jobs jobs )
     with
-    | None, _, _, _, _, _, _ -> `Error (false, "unknown machine (xeon | niagara)")
-    | _, None, _, _, _, _, _ -> `Error (false, "unknown workload; try `mmstudy list`")
+    | None, _, _, _, _, _, _ ->
+      `Error
+        (false, Printf.sprintf "unknown machine %S; valid: xeon, niagara" machine)
+    | _, None, _, _, _, _, _ ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown workload %S; valid: %s" workload
+            (String.concat ", "
+               (List.map
+                  (fun s -> s.Mm_workload.Spec.name)
+                  (Mm_workload.Spec.php_apps @ [ Mm_workload.Spec.rails ]))) )
     | _, _, Error msg, _, _, _, _ -> `Error (false, msg)
-    | _, _, _, None, _, _, _ -> `Error (false, "unknown arrival (poisson | bursty)")
+    | _, _, _, None, _, _, _ ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown arrival %S; valid: %s" arrival
+            (String.concat ", "
+               (List.map Mm_serve.Arrival.name Mm_serve.Arrival.all)) )
     | _, _, _, _, None, _, _ ->
-      `Error (false, "unknown dispatch (round-robin | least-loaded | affinity)")
+      `Error
+        ( false,
+          Printf.sprintf "unknown dispatch %S; valid: %s" dispatch
+            (String.concat ", "
+               (List.map Mm_serve.Dispatch.name Mm_serve.Dispatch.all)) )
     | _, _, _, _, _, Error msg, _ -> `Error (false, msg)
     | _, _, _, _, _, _, Error msg -> `Error (false, msg)
     | Some machine, Some _, Ok _, Some _, Some _, Ok _, Ok _
@@ -347,10 +455,17 @@ let serve_cmd =
     | _, _, _, _, _, _, Ok _ when not (duration > 0.0) ->
       `Error (false, "--duration must be positive")
     | Some machine, Some spec, Ok kinds, Some arrival, Some dispatch, Ok rps,
-      Ok jobs ->
+      Ok jobs -> (
+      match
+        ( parse_policy ~timeout ~retries ~admission,
+          check_cache_flags ~cache ~refresh ~cache_dir )
+      with
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+      | Ok policy, Ok () ->
       let module Ctx = Mm_experiments.Context in
       let module Lat = Mm_experiments.Exp_latency in
       let module Sweep = Mm_serve.Sweep in
+      apply_fault_seed fault_seed;
       let ctx = ctx_of ~scale ~seed ~cache ~refresh ~cache_dir in
       let default_kind = Mm_runtime.Alloc_factory.Php_default in
       (* The auto grid needs the default allocator's measurement even when
@@ -376,71 +491,108 @@ let serve_cmd =
         Stdlib.max 200
           (Stdlib.min 50_000 (int_of_float (duration *. max_rate)))
       in
+      let policy_active = not (Mm_serve.Policy.is_none policy) in
       Printf.printf
         "Serving %s on %d %s core(s): %s arrivals, %s dispatch, %d requests \
-         per point (seed %d, scale %.2f)\n\n"
+         per point (seed %d, scale %.2f)\n"
         workload cores machine.Mm_cachesim.Machine.name
         (Mm_serve.Arrival.name arrival)
         (Mm_serve.Dispatch.name dispatch)
         requests seed scale;
+      if policy_active then
+        Printf.printf "Client policy: %s\n" (Mm_serve.Policy.describe policy);
+      print_newline ();
       let summary =
         Mm_stats.Table.create ~title:"Saturation summary"
           ~columns:
-            [
-              ("allocator", Mm_stats.Table.Left);
-              ("capacity RPS", Mm_stats.Table.Right);
-              ("max sustained RPS", Mm_stats.Table.Right);
-            ]
+            ([
+               ("allocator", Mm_stats.Table.Left);
+               ("capacity RPS", Mm_stats.Table.Right);
+               ("max sustained RPS", Mm_stats.Table.Right);
+             ]
+            @
+            if policy_active then
+              [ ("collapse RPS", Mm_stats.Table.Right) ]
+            else [])
       in
       List.iter
         (fun kind ->
           let name = Mm_runtime.Alloc_factory.kind_name kind in
           let points =
-            Lat.sweep_points ctx ~machine ~spec ~kind ~cores ~arrival
+            Lat.sweep_points ~policy ctx ~machine ~spec ~kind ~cores ~arrival
               ~dispatch ~requests ~warmup_frac:0.1 ~rates
           in
           let t =
             Mm_stats.Table.create
               ~title:(Printf.sprintf "%s: latency vs offered load" name)
               ~columns:
-                [
-                  ("offered RPS", Mm_stats.Table.Right);
-                  ("p50", Mm_stats.Table.Right);
-                  ("p90", Mm_stats.Table.Right);
-                  ("p99", Mm_stats.Table.Right);
-                  ("p99.9", Mm_stats.Table.Right);
-                  ("util", Mm_stats.Table.Right);
-                  ("", Mm_stats.Table.Left);
-                ]
+                ([
+                   ("offered RPS", Mm_stats.Table.Right);
+                   ("p50", Mm_stats.Table.Right);
+                   ("p90", Mm_stats.Table.Right);
+                   ("p99", Mm_stats.Table.Right);
+                   ("p99.9", Mm_stats.Table.Right);
+                   ("util", Mm_stats.Table.Right);
+                 ]
+                @ (if policy_active then
+                     [
+                       ("goodput RPS", Mm_stats.Table.Right);
+                       ("shed", Mm_stats.Table.Right);
+                       ("timeout", Mm_stats.Table.Right);
+                       ("amp", Mm_stats.Table.Right);
+                     ]
+                   else [])
+                @ [ ("", Mm_stats.Table.Left) ])
           in
           let ms v = Printf.sprintf "%.2f ms" (1000.0 *. v) in
+          let pct v = Printf.sprintf "%.0f%%" (100.0 *. v) in
           List.iter
             (fun (p : Sweep.point) ->
               Mm_stats.Table.add_row t
-                [
-                  Printf.sprintf "%.0f" p.Sweep.rate;
-                  ms p.Sweep.p50;
-                  ms p.Sweep.p90;
-                  ms p.Sweep.p99;
-                  ms p.Sweep.p999;
-                  Printf.sprintf "%.2f" p.Sweep.utilization;
-                  (if p.Sweep.saturated then "SATURATED" else "");
-                ])
+                ([
+                   Printf.sprintf "%.0f" p.Sweep.rate;
+                   ms p.Sweep.p50;
+                   ms p.Sweep.p90;
+                   ms p.Sweep.p99;
+                   ms p.Sweep.p999;
+                   Printf.sprintf "%.2f" p.Sweep.utilization;
+                 ]
+                @ (if policy_active then
+                     [
+                       Printf.sprintf "%.0f" p.Sweep.goodput_rps;
+                       pct p.Sweep.shed_rate;
+                       pct p.Sweep.timeout_rate;
+                       Printf.sprintf "%.2f" p.Sweep.amplification;
+                     ]
+                   else [])
+                @ [
+                    (if policy_active && Sweep.collapsed p then "COLLAPSED"
+                     else if p.Sweep.saturated then "SATURATED"
+                     else "");
+                  ]))
             points;
           Mm_stats.Table.print t;
           let cap = Lat.capacity_of ctx ~machine ~spec ~kind ~cores in
           Mm_stats.Table.add_row summary
-            [
-              name;
-              Printf.sprintf "%.0f" cap;
-              (match Sweep.max_sustainable points with
-              | Some r -> Printf.sprintf "%.0f" r
-              | None -> "none (all points saturated)");
-            ])
+            ([
+               name;
+               Printf.sprintf "%.0f" cap;
+               (match Sweep.max_sustainable points with
+               | Some r -> Printf.sprintf "%.0f" r
+               | None -> "none (all points saturated)");
+             ]
+            @
+            if policy_active then
+              [
+                (match Sweep.collapse_rate points with
+                | Some r -> Printf.sprintf "%.0f" r
+                | None -> "none in sweep");
+              ]
+            else []))
         kinds;
       Mm_stats.Table.print summary;
       print_exec_summary ctx;
-      `Ok ()
+      `Ok ())
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "serve"
@@ -450,8 +602,216 @@ let serve_cmd =
     Cmdliner.Term.(
       ret
         (const run $ machine_arg $ cores_arg $ workload_arg $ allocs_arg
-       $ arrival_arg $ dispatch_arg $ rps_arg $ duration_arg $ scale_arg
-       $ seed_arg $ jobs_arg $ cache_arg $ refresh_arg $ cache_dir_arg))
+       $ arrival_arg $ dispatch_arg $ rps_arg $ duration_arg $ timeout_arg
+       $ retries_arg $ admission_arg $ scale_arg $ seed_arg $ jobs_arg
+       $ cache_arg $ refresh_arg $ cache_dir_arg $ fault_seed_arg))
+
+(* --- the `mmstudy chaos` subcommand ---------------------------------- *)
+
+(* Fault-injection drill: run the pipeline fault-free for a reference,
+   then again under a seeded fault plan, and verify the resilience
+   invariant — faults move counters (retries, restarts, misses), never
+   result bytes.  Then hammer the store and the pool directly.  Any
+   violation exits non-zero, so check.sh can gate on this. *)
+let chaos_cmd =
+  let chaos_fault_seed_arg =
+    let doc = "Seed of the deterministic fault plan to drill with." in
+    Cmdliner.Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let chaos_scale_arg =
+    let doc = "Transaction scale for the reference experiment pass." in
+    Cmdliner.Arg.(value & opt float 0.02 & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  let run scale seed jobs fault_seed =
+    match check_jobs jobs with
+    | Error msg -> `Error (false, msg)
+    | Ok jobs ->
+      let module Ctx = Mm_experiments.Context in
+      let module Engine = Mm_runtime.Engine in
+      let violations = ref [] in
+      let violate fmt =
+        Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+      in
+      let tmp =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "mmstudy-chaos-%d" (Unix.getpid ()))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Fault.disable ();
+          rm_rf tmp)
+        (fun () ->
+          Printf.printf
+            "Chaos drill: fault seed %d, sim seed %d, scale %.2f, %d job(s)\n\n"
+            fault_seed seed scale jobs;
+          (* Drill 1: determinism under faults.  The fig1 plan, fault-free
+             and in-memory, is the reference; the same plan under the
+             fault plan, through a store that is catching injected I/O
+             errors and torn writes, must produce identical bytes. *)
+          Fault.disable ();
+          let clean_ctx = Mm_experiments.Context.create ~scale ~seed () in
+          let keys = Mm_experiments.Exp_throughput.plan_fig1 clean_ctx in
+          Ctx.prefetch clean_ctx ~jobs keys;
+          let reference =
+            List.map
+              (fun k -> Engine.measurement_to_string (Ctx.force clean_ctx k))
+              keys
+          in
+          Fault.configure ~seed:fault_seed ();
+          let store =
+            Store.open_ ~dir:tmp
+              ~fingerprint:Mm_runtime.Version.sim_fingerprint ()
+          in
+          let faulty_ctx =
+            Mm_experiments.Context.create ~scale ~seed ~store ()
+          in
+          Ctx.prefetch faulty_ctx ~jobs keys;
+          let mismatches = ref 0 in
+          List.iter2
+            (fun k expected ->
+              let got =
+                Engine.measurement_to_string (Ctx.force faulty_ctx k)
+              in
+              if got <> expected then begin
+                incr mismatches;
+                violate "measurement %S differs under fault injection"
+                  (Ctx.key_name k)
+              end)
+            keys reference;
+          (* Second faulty pass through a fresh context: reads anything
+             the first pass managed to persist (including healed-over
+             torn entries) back out of the store. *)
+          let store2 =
+            Store.open_ ~dir:tmp
+              ~fingerprint:Mm_runtime.Version.sim_fingerprint ()
+          in
+          let reread_ctx =
+            Mm_experiments.Context.create ~scale ~seed ~store:store2 ()
+          in
+          List.iter2
+            (fun k expected ->
+              let got =
+                Engine.measurement_to_string (Ctx.force reread_ctx k)
+              in
+              if got <> expected then begin
+                incr mismatches;
+                violate "store round-trip of %S differs under fault injection"
+                  (Ctx.key_name k)
+              end)
+            keys reference;
+          Printf.printf
+            "experiment pass:  %d configuration(s), %d byte mismatch(es)\n"
+            (List.length keys) !mismatches;
+          Printf.printf
+            "                  store errors absorbed: %d (degraded: %b)\n"
+            (Ctx.store_errors faulty_ctx + Ctx.store_errors reread_ctx)
+            (Ctx.store_degraded faulty_ctx || Ctx.store_degraded reread_ctx);
+          (* Drill 2: the store under sustained injected I/O errors and
+             torn writes.  Every read must return the stored bytes or
+             miss — wrong bytes are the one unforgivable outcome — and a
+             miss must heal by rewriting. *)
+          let drill = Store.open_ ~dir:tmp ~fingerprint:"chaos-drill" () in
+          let entries = 200 in
+          let payload i =
+            Printf.sprintf "payload-%d-%s" i (String.make (i mod 97) 'x')
+          in
+          let corrupt = ref 0 and misses = ref 0 and healed = ref 0 in
+          for i = 0 to entries - 1 do
+            let key = Printf.sprintf "chaos-%d" i in
+            let data = payload i in
+            (try Store.store drill ~key ~data () with _ -> ());
+            let rec check attempt =
+              match Store.find drill ~key with
+              | Some d when d = data ->
+                if attempt > 0 then incr healed
+              | Some _ -> incr corrupt
+              | None ->
+                incr misses;
+                if attempt < 5 then begin
+                  (try Store.store drill ~key ~data () with _ -> ());
+                  check (attempt + 1)
+                end
+                else violate "store entry %s never healed" key
+            in
+            check 0
+          done;
+          if !corrupt > 0 then
+            violate "store served wrong bytes %d time(s)" !corrupt;
+          let h = Store.health drill in
+          Printf.printf
+            "store drill:      %d entry(ies), %d miss(es), %d healed, %d \
+             served corrupt\n"
+            entries !misses !healed !corrupt;
+          Printf.printf
+            "                  read retries %d, read failures %d, write \
+             retries %d, write failures %d\n"
+            h.Store.read_retries h.Store.read_failures h.Store.write_retries
+            h.Store.write_failures;
+          (* Drill 3: the pool under injected worker crashes.  Values and
+             submission order must survive; the supervisor's restart
+             count is the only visible trace. *)
+          let pool = Mm_sched.Pool.create ~jobs:(Stdlib.max 2 jobs) in
+          let tasks = 200 in
+          let promises =
+            List.init tasks (fun i ->
+                Mm_sched.Pool.submit pool (fun () -> (i, i * i)))
+          in
+          let wrong = ref 0 in
+          List.iteri
+            (fun i p ->
+              match Mm_sched.Pool.await p with
+              | j, sq when j = i && sq = i * i -> ()
+              | _ -> incr wrong
+              | exception _ -> incr wrong)
+            promises;
+          let restarts = Mm_sched.Pool.restarts pool in
+          Mm_sched.Pool.shutdown pool;
+          if !wrong > 0 then
+            violate "pool returned %d wrong or failed result(s)" !wrong;
+          Printf.printf
+            "pool drill:       %d task(s), %d wrong result(s), %d worker \
+             restart(s)\n"
+            tasks !wrong restarts;
+          let total = Fault.total_injected () in
+          Printf.printf "faults injected:  %d total (%s)\n" total
+            (String.concat ", "
+               (List.map
+                  (fun (site, n) ->
+                    Printf.sprintf "%s %d" (Fault.site_name site) n)
+                  (Fault.counts ())));
+          if total = 0 then
+            violate
+              "fault plan injected nothing — the drill exercised no faults";
+          match !violations with
+          | [] ->
+            Printf.printf "\nresilience invariant held: faults moved \
+                           counters, never bytes\n";
+            `Ok ()
+          | vs ->
+            `Error
+              ( false,
+                Printf.sprintf "chaos drill failed:\n  %s"
+                  (String.concat "\n  " (List.rev vs)) ))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "chaos"
+       ~doc:
+         "Drill the fault-injection paths: prove results are byte-identical \
+          under injected I/O errors, torn writes and worker crashes.")
+    Cmdliner.Term.(
+      ret
+        (const run $ chaos_scale_arg $ seed_arg $ jobs_arg
+       $ chaos_fault_seed_arg))
 
 (* --- the `mmstudy cache` maintenance group --------------------------- *)
 
@@ -540,4 +900,4 @@ let () =
   exit
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
-          [ list_cmd; run_cmd; sim_cmd; serve_cmd; cache_cmd ]))
+          [ list_cmd; run_cmd; sim_cmd; serve_cmd; chaos_cmd; cache_cmd ]))

@@ -3,25 +3,36 @@
 # plan/execute/render pipeline must print byte-identical output whether
 # the execute stage runs on 1 domain or 4 — a cold/warm store equivalence
 # gate, a serving-simulator gate (deterministic across -j, warm rerun
-# fully store-served), and a perf smoke that times a small bench run so
-# hot-path regressions show up in CI logs.
+# fully store-served), a fault-injection gate (injected faults must not
+# change a single output byte, and the chaos drills must pass), and a
+# perf smoke that times a small bench run so hot-path regressions show
+# up in CI logs.
 set -eu
 
 cd "$(dirname "$0")"
 
+# Every build/test/smoke step runs under a global timeout so a deadlock
+# (a stuck worker domain, a lost lockfile) fails the check instead of
+# hanging CI forever.  Override with CHECK_TIMEOUT (seconds).
+if command -v timeout >/dev/null 2>&1; then
+  TO="timeout -k 10 ${CHECK_TIMEOUT:-1500}"
+else
+  TO=""
+fi
+
 echo "== dune build =="
-dune build
+$TO dune build
 
 echo "== dune runtest =="
-dune runtest
+$TO dune runtest
 
 MMSTUDY=./_build/default/bin/mmstudy.exe
 
 echo "== determinism smoke: mmstudy run all at -j 1 vs -j 4 (no cache) =="
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
-$MMSTUDY run all --scale 0.05 -j 1 --no-cache > "$out1"
-$MMSTUDY run all --scale 0.05 -j 4 --no-cache > "$out4"
+$TO $MMSTUDY run all --scale 0.05 -j 1 --no-cache > "$out1"
+$TO $MMSTUDY run all --scale 0.05 -j 4 --no-cache > "$out4"
 if ! diff -u "$out1" "$out4"; then
   echo "FAIL: run-all output differs between -j 1 and -j 4" >&2
   exit 1
@@ -36,8 +47,8 @@ echo "== store smoke: cold vs warm run must be byte-identical =="
 cachedir=$(mktemp -d)
 cold=$(mktemp) && warm=$(mktemp) && warmerr=$(mktemp)
 trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr"; rm -rf "$cachedir"' EXIT
-MMSTUDY_CACHE_DIR="$cachedir" $MMSTUDY run all --scale 0.05 -j 4 > "$cold"
-MMSTUDY_CACHE_DIR="$cachedir" $MMSTUDY run all --scale 0.05 -j 4 > "$warm" 2> "$warmerr"
+MMSTUDY_CACHE_DIR="$cachedir" $TO $MMSTUDY run all --scale 0.05 -j 4 > "$cold"
+MMSTUDY_CACHE_DIR="$cachedir" $TO $MMSTUDY run all --scale 0.05 -j 4 > "$warm" 2> "$warmerr"
 if ! diff -u "$cold" "$warm"; then
   echo "FAIL: warm (store-served) output differs from cold output" >&2
   exit 1
@@ -62,8 +73,8 @@ servedir=$(mktemp -d)
 sj1=$(mktemp) && sj4=$(mktemp) && swarmerr=$(mktemp)
 trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr" "$sj1" "$sj4" "$swarmerr"; rm -rf "$cachedir" "$servedir"' EXIT
 SERVE_ARGS="serve --workload mediawiki-ro --scale 0.05 --duration 2"
-MMSTUDY_CACHE_DIR="$servedir" $MMSTUDY $SERVE_ARGS -j 1 > "$sj1" 2>/dev/null
-MMSTUDY_CACHE_DIR="$servedir" $MMSTUDY $SERVE_ARGS -j 4 > "$sj4" 2> "$swarmerr"
+MMSTUDY_CACHE_DIR="$servedir" $TO $MMSTUDY $SERVE_ARGS -j 1 > "$sj1" 2>/dev/null
+MMSTUDY_CACHE_DIR="$servedir" $TO $MMSTUDY $SERVE_ARGS -j 4 > "$sj4" 2> "$swarmerr"
 if ! diff -u "$sj1" "$sj4"; then
   echo "FAIL: serve output differs between -j 1 and -j 4" >&2
   exit 1
@@ -79,6 +90,35 @@ if ! grep -q 'SATURATED' "$sj4"; then
 fi
 echo "serve deterministic across -j; warm rerun 0 simulations, 0 serve sims."
 
+echo "== fault smoke: injected faults must not change a single output byte =="
+# The determinism-under-faults invariant: MM_FAULT_SEED arms I/O errors,
+# torn writes, and worker crashes throughout the pipeline, yet the
+# rendered experiment output must equal the fault-free -j 4 baseline
+# exactly — faults may only move counters and logs.
+faultdir=$(mktemp -d)
+faultout=$(mktemp) && faulterr=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr" "$sj1" "$sj4" "$swarmerr" "$faultout" "$faulterr"; rm -rf "$cachedir" "$servedir" "$faultdir"' EXIT
+MM_FAULT_SEED=42 MMSTUDY_CACHE_DIR="$faultdir" \
+  $TO $MMSTUDY run all --scale 0.05 -j 4 > "$faultout" 2> "$faulterr"
+if ! diff -u "$out4" "$faultout"; then
+  echo "FAIL: output under MM_FAULT_SEED=42 differs from the fault-free run" >&2
+  cat "$faulterr" >&2
+  exit 1
+fi
+echo "byte-identical under MM_FAULT_SEED=42."
+
+echo "== chaos drills: store self-healing + supervised pool under faults =="
+$TO $MMSTUDY chaos --fault-seed 42
+
+echo "== fault-hardened suites under env injection =="
+# The store and scheduler test binaries assert values/ordering always and
+# exact counters only when unarmed, so they must pass with the injector on.
+MM_FAULT_SEED=42 $TO ./_build/default/test/test_store.exe > /dev/null 2>&1 \
+  || { echo "FAIL: test_store under MM_FAULT_SEED=42" >&2; exit 1; }
+MM_FAULT_SEED=42 $TO ./_build/default/test/test_sched.exe > /dev/null 2>&1 \
+  || { echo "FAIL: test_sched under MM_FAULT_SEED=42" >&2; exit 1; }
+echo "test_store + test_sched pass with injection armed."
+
 echo "== perf smoke: fig1 at scale 0.05 (wall-clock) =="
 # Not a pass/fail gate — timing on shared CI boxes is too noisy for that —
 # but the number lands in the log for eyeballing against the committed
@@ -86,13 +126,13 @@ echo "== perf smoke: fig1 at scale 0.05 (wall-clock) =="
 # BENCH_RESULTS.json does not clobber the committed one.
 root=$PWD
 smokedir=$(mktemp -d)
-trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr"; rm -rf "$cachedir" "$smokedir"' EXIT
+trap 'rm -f "$out1" "$out4" "$cold" "$warm" "$warmerr" "$sj1" "$sj4" "$swarmerr" "$faultout" "$faulterr"; rm -rf "$cachedir" "$servedir" "$faultdir" "$smokedir"' EXIT
 # `time` is not available under dash; the bench prints per-experiment and
 # total wall-clock itself, bracket it with date for a coarse check.
 t0=$(date +%s)
 ( cd "$smokedir" && \
   BENCH_ONLY=fig1 BENCH_SCALE=0.05 BENCH_SKIP_MICRO=1 BENCH_SKIP_WARM=1 \
-      "$root/_build/default/bench/main.exe" )
+      $TO "$root/_build/default/bench/main.exe" )
 echo "perf smoke wall-clock: $(($(date +%s) - t0)) s"
 
 echo "ALL CHECKS PASSED"

@@ -5,6 +5,7 @@ module Perf = Mm_cachesim.Perf_model
 module Spec = Mm_workload.Spec
 module Pool = Mm_sched.Pool
 module Store = Mm_store.Store
+module Fault = Mm_fault.Fault
 
 type id = {
   k_machine : string;
@@ -144,12 +145,29 @@ let kind_key = function
       | Core.Ddmalloc.Addr_ordered -> "addr")
   | other -> Factory.kind_name other
 
+(* Graceful degradation: once the store has abandoned this many reads or
+   writes (each abandonment is a full retry-with-backoff cycle — see
+   Mm_store), it is treated as persistently unavailable and the context
+   runs in-memory for the rest of the process.  Results are identical
+   either way — the store only ever saves recomputation — so degrading
+   changes counters, never output bytes. *)
+let degrade_threshold = 8
+
+let store_errors t =
+  match t.store with
+  | None -> 0
+  | Some s ->
+    let h = Store.health s in
+    h.Store.read_failures + h.Store.write_failures
+
+let store_degraded t = store_errors t >= degrade_threshold
+
 (* Disk layer: a validated read of one id's measurement, or None.  Any
    store or decode failure is a miss — the caller recomputes and the
    write-behind overwrites the bad entry. *)
 let read_store t id =
   match t.store with
-  | Some s when not t.refresh -> (
+  | Some s when not t.refresh && not (store_degraded t) -> (
     match Store.find s ~key:(store_key_of_id id) with
     | None -> None
     | Some payload -> (
@@ -159,15 +177,16 @@ let read_store t id =
   | Some _ | None -> None
 
 (* Write-behind is best-effort: a full disk or read-only store directory
-   must not fail the run that just produced a perfectly good result. *)
+   (or a persistently-injected write fault) must not fail the run that
+   just produced a perfectly good result. *)
 let write_store t id m =
   match t.store with
-  | Some s -> (
+  | Some s when not (store_degraded t) -> (
     try
       Store.store s ~key:(store_key_of_id id)
         ~data:(Engine.measurement_to_string m) ()
-    with Sys_error _ | Unix.Unix_error _ -> ())
-  | None -> ()
+    with Sys_error _ | Unix.Unix_error _ | Fault.Injected _ -> ())
+  | Some _ | None -> ()
 
 (* Force a key: return the memoized measurement, computing it at most once
    per process.  Concurrent requests for the same id rendezvous on an
@@ -359,7 +378,7 @@ let force_blob t ~kind ~key ~valid ~compute =
     Mutex.unlock t.lock;
     let from_store =
       match t.store with
-      | Some s when not t.refresh -> (
+      | Some s when not t.refresh && not (store_degraded t) -> (
         match Store.find s ~key with
         | Some payload when valid payload -> Some payload
         | Some _ | None -> None)
@@ -371,10 +390,10 @@ let force_blob t ~kind ~key ~valid ~compute =
       | None ->
         let p = compute () in
         (match t.store with
-        | Some s -> (
+        | Some s when not (store_degraded t) -> (
           try Store.store s ~kind ~key ~data:p ()
-          with Sys_error _ | Unix.Unix_error _ -> ())
-        | None -> ());
+          with Sys_error _ | Unix.Unix_error _ | Fault.Injected _ -> ())
+        | Some _ | None -> ());
         (p, false)
     in
     Mutex.lock t.lock;

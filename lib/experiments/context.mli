@@ -116,6 +116,16 @@ val disk_hits : t -> int
 (** Number of measurements served from the persistent store instead of
     simulated. *)
 
+val store_errors : t -> int
+(** Reads and writes the attached store abandoned after exhausting its
+    bounded retries (see [Mm_store.Store.health]); 0 without a store. *)
+
+val store_degraded : t -> bool
+(** Whether the context has stopped using the store: after a bounded
+    number of abandoned operations the store is treated as persistently
+    unavailable and every later {!force} simulates in memory.  Results
+    are unaffected — degradation changes counters, never output bytes. *)
+
 (** {2 Derived-artifact blobs}
 
     Experiments that post-process measurements into a second artifact —

@@ -51,18 +51,19 @@ let plan ctx =
    so any change to either recomputes rather than aliasing.  Exposed
    generically because `mmstudy serve` sweeps user-chosen parameters
    through the same memo layer. *)
-let sweep_points ctx ~machine ~spec ~kind ~cores ~arrival ~dispatch ~requests
-    ~warmup_frac ~rates =
+let sweep_points ?(policy = Mm_serve.Policy.none) ctx ~machine ~spec ~kind
+    ~cores ~arrival ~dispatch ~requests ~warmup_frac ~rates =
   let meas_key = Context.php_key ctx ~machine ~cores ~kind ~spec () in
   let m = Context.force ctx meas_key in
   let service = Contention.service_seconds ~machine ~measurement:m in
   let blob_key =
     Printf.sprintf
-      "serve%d;meas{%s};cores=%d;arrival=%s;dispatch=%s;requests=%d;warmup=%h;rates=%s"
+      "serve%d;meas{%s};cores=%d;arrival=%s;dispatch=%s;requests=%d;warmup=%h;policy{%s};rates=%s"
       Sweep.schema_version
       (Context.store_key meas_key)
       cores (Arrival.name arrival) (Dispatch.name dispatch) requests
       warmup_frac
+      (Mm_serve.Policy.to_key policy)
       (String.concat "," (List.map (Printf.sprintf "%h") rates))
   in
   let compute () =
@@ -77,7 +78,7 @@ let sweep_points ctx ~machine ~spec ~kind ~cores ~arrival ~dispatch ~requests
         seed = Context.seed ctx;
       }
     in
-    Sweep.points_to_string (Sweep.run cfg ~service ~rates)
+    Sweep.points_to_string (Sweep.run ~policy cfg ~service ~rates)
   in
   let payload =
     Context.force_blob ctx ~kind:"serve" ~key:blob_key

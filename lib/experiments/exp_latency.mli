@@ -21,6 +21,7 @@ val plan : Context.t -> Context.key list
 val render : Context.t -> unit
 
 val sweep_points :
+  ?policy:Mm_serve.Policy.t ->
   Context.t ->
   machine:Mm_cachesim.Machine.t ->
   spec:Mm_workload.Spec.t ->
@@ -34,9 +35,11 @@ val sweep_points :
   Mm_serve.Sweep.point list
 (** One memoized sweep: force the (machine, cores, kind, spec)
     measurement, derive its contention table, run (or read from the
-    store) the offered-load sweep.  This is the layer `mmstudy serve`
-    drives with user-chosen parameters; the experiment's own tables are
-    partial applications of it. *)
+    store) the offered-load sweep.  [policy] (default
+    {!Mm_serve.Policy.none}) is part of the blob key, so policy sweeps
+    and plain sweeps never alias.  This is the layer `mmstudy serve` and
+    the resilience experiment drive with their own parameters; the
+    experiment's tables are partial applications of it. *)
 
 val capacity_of :
   Context.t ->

@@ -124,6 +124,16 @@ let all =
       render = Exp_latency.render;
     };
     {
+      id = "resilience";
+      title = "Beyond the paper: overload resilience and retry-storm collapse";
+      desc =
+        "Deadlines+retries on the serving simulator: goodput, amplification \
+         and the collapse onset per allocator";
+      default_scale = reporting_scale;
+      plan = Exp_resilience.plan;
+      render = Exp_resilience.render;
+    };
+    {
       id = "abl-seg";
       title = "Ablation: DDmalloc segment size (§3.2)";
       desc = "Throughput/consumption across segment sizes, MediaWiki on Xeon";

@@ -11,8 +11,10 @@ let engine_semantics = 1
    dispatch, contention table, sweep derivation).  Serve sweeps are
    derived artifacts of measurements, so their store entries share this
    fingerprint; a behavioural change to lib/serve must bump this even
-   though the measurement layer is untouched. *)
-let serve_semantics = 1
+   though the measurement layer is untouched.  v2: the resilience policy
+   layer (deadlines/retries/shedding) re-architected the event loop and
+   extended sweep points with goodput/shed/amplification metrics. *)
+let serve_semantics = 2
 
 let sim_fingerprint =
   Printf.sprintf "core-v%d.cachesim-v%d.engine-v%d.schema-v%d.serve-v%d"

@@ -1,0 +1,88 @@
+type admission = Always | Queue_limit of int | Deadline_aware
+
+type t = {
+  deadline : float option;
+  max_retries : int;
+  backoff_base : float;
+  backoff_cap : float;
+  jitter : float;
+  admission : admission;
+}
+
+let none =
+  {
+    deadline = None;
+    max_retries = 0;
+    backoff_base = 0.01;
+    backoff_cap = 0.01;
+    jitter = 0.0;
+    admission = Always;
+  }
+
+let make ?deadline ?(max_retries = 0) ?backoff_base ?backoff_cap
+    ?(jitter = 0.5) ?(admission = Always) () =
+  let base =
+    match backoff_base with
+    | Some b -> b
+    | None -> ( match deadline with Some d -> 0.5 *. d | None -> 0.01)
+  in
+  let cap = match backoff_cap with Some c -> c | None -> 8.0 *. base in
+  { deadline; max_retries; backoff_base = base; backoff_cap = cap; jitter; admission }
+
+let is_none p =
+  p.deadline = None && p.max_retries = 0 && p.admission = Always
+
+let validate p =
+  (match p.deadline with
+  | Some d when not (d > 0.0 && Float.is_finite d) ->
+    invalid_arg "Policy: deadline must be positive"
+  | Some _ | None -> ());
+  if p.max_retries < 0 then invalid_arg "Policy: max_retries must be >= 0";
+  if not (p.backoff_base > 0.0 && Float.is_finite p.backoff_base) then
+    invalid_arg "Policy: backoff_base must be positive";
+  if p.backoff_cap < p.backoff_base then
+    invalid_arg "Policy: backoff_cap must be >= backoff_base";
+  if not (p.jitter >= 0.0 && p.jitter <= 1.0) then
+    invalid_arg "Policy: jitter must be in [0, 1]";
+  match p.admission with
+  | Queue_limit l when l < 1 -> invalid_arg "Policy: queue limit must be >= 1"
+  | Queue_limit _ | Always | Deadline_aware -> ()
+
+let admission_name = function
+  | Always -> "always"
+  | Queue_limit l -> Printf.sprintf "queue:%d" l
+  | Deadline_aware -> "deadline-aware"
+
+let admission_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "deadline-aware" | "deadline" -> Ok Deadline_aware
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "queue" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt rest with
+      | Some l when l >= 1 -> Ok (Queue_limit l)
+      | Some _ | None ->
+        Error "queue limit must be an integer >= 1 (e.g. queue:32)")
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown admission policy %S; valid: always, queue:N, deadline-aware"
+           s))
+
+let to_key p =
+  Printf.sprintf "deadline=%s;retries=%d;base=%h;cap=%h;jitter=%h;admission=%s"
+    (match p.deadline with None -> "none" | Some d -> Printf.sprintf "%h" d)
+    p.max_retries p.backoff_base p.backoff_cap p.jitter
+    (admission_name p.admission)
+
+let describe p =
+  if is_none p then "no timeout, no retries, admit all"
+  else
+    Printf.sprintf "timeout %s, %d retries (backoff %.3gs..%.3gs, jitter %.2g), admission %s"
+      (match p.deadline with
+      | None -> "off"
+      | Some d -> Printf.sprintf "%.3gs" d)
+      p.max_retries p.backoff_base p.backoff_cap p.jitter
+      (admission_name p.admission)

@@ -6,15 +6,24 @@
     of concurrently busy cores when the request starts (the contention
     table from {!Contention.service_seconds}) and [m_i] an exponential
     mean-1 multiplier fixed per request.  Every run is a pure function of
-    its configuration: arrivals, service multipliers and flow ids are
-    pre-drawn from split {!Mm_stats.Rng} streams seeded by [seed], so a
-    run is deterministic and independent of wall clock, process or domain
-    count.
+    its configuration: arrivals, service multipliers, flow ids and retry
+    jitter are pre-drawn from (or deterministically consumed off) split
+    {!Mm_stats.Rng} streams seeded by [seed], so a run is deterministic
+    and independent of wall clock, process or domain count.
 
     Load sweeps reuse {e one} unit-rate arrival sequence scaled by
     [1 / rate] (see {!Arrival}), so raising the rate compresses the same
     traffic pattern: sweep points differ only in load, and latency curves
-    are monotone in load by construction. *)
+    are monotone in load by construction.
+
+    {b Overload resilience.}  A {!Policy.t} adds client deadlines,
+    retries with capped exponential backoff + jitter, and admission
+    control.  A client request (an "original") then becomes a chain of
+    attempts; the outcome separates {e throughput} (all completions,
+    including work finished after its client timed out) from {e goodput}
+    (completions that made their deadline).  [?policy] defaults to
+    {!Policy.none}, which reproduces the happy-path simulator exactly —
+    same streams, same event order, same numbers. *)
 
 type config = {
   cores : int;
@@ -29,11 +38,14 @@ type config = {
 
 type outcome = {
   o_config : config;
+  o_policy : Policy.t;
   hist : Mm_stats.Histogram.t;
-      (** sojourn time (queueing + service), seconds, post-warmup *)
+      (** sojourn time (queueing + service) of successful attempts,
+          seconds, post-warmup *)
   measured : int;  (** requests recorded in [hist] *)
-  achieved_rps : float;  (** completions / makespan *)
-  utilization : float;  (** busy core-seconds / (cores × makespan) *)
+  achieved_rps : float;  (** all completions / makespan — raw throughput *)
+  utilization : float;
+      (** busy core-seconds / (cores × makespan), including wasted work *)
   saturated : bool;
       (** the run could not keep up: completing all requests overran the
           arrival horizon by more than the drain slack (5% of the
@@ -42,12 +54,23 @@ type outcome = {
           grew without bound and sojourn times are departure-rate
           artifacts *)
   max_outstanding : int;  (** peak requests in the system at once *)
+  attempts : int;
+      (** arrivals processed, originals + retries ([= requests] under
+          {!Policy.none}) *)
+  completions : int;  (** attempts served to completion, timely or not *)
+  ok : int;  (** completions that beat their deadline (goodput count) *)
+  timeouts : int;  (** attempts whose client deadline expired *)
+  sheds : int;  (** attempts rejected by admission control *)
+  give_ups : int;  (** originals that exhausted every retry *)
+  goodput_rps : float;  (** [ok] / makespan *)
+  retry_amplification : float;
+      (** [attempts] / [requests] — 1.0 means no retry storm *)
 }
 
-val run : config -> service:float array -> outcome
+val run : ?policy:Policy.t -> config -> service:float array -> outcome
 (** [service] is the contention table: [service.(k - 1)] seconds of
     demand with [k] cores busy; its length must be at least
     [config.cores] (higher concurrency clamps to the last entry).
     Raises [Invalid_argument] on a non-positive rate or request count,
-    [warmup_frac] outside [0, 1), or a short/empty/non-positive
-    [service] table. *)
+    [warmup_frac] outside [0, 1), a short/empty/non-positive [service]
+    table, or an invalid [policy] (see {!Policy.validate}). *)

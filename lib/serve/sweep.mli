@@ -1,9 +1,10 @@
 (** Offered-load sweeps and their serialized form.
 
     A sweep runs the simulator at a list of offered rates — same seed,
-    same unit-rate arrival pattern, same service table — and condenses
-    each run to a {!point}: the latency quantiles and saturation verdict
-    the experiment tables and the CLI print.
+    same unit-rate arrival pattern, same service table, same resilience
+    policy — and condenses each run to a {!point}: the latency quantiles,
+    saturation verdict and resilience metrics the experiment tables and
+    the CLI print.
 
     Points serialize to a versioned line format with [%h] hex floats,
     mirroring the measurement codec: a decoded sweep is bit-identical to
@@ -19,10 +20,15 @@ type point = {
   p99 : float;
   p999 : float;  (** sojourn-time quantiles, seconds *)
   lat_max : float;  (** worst measured sojourn, seconds *)
-  achieved_rps : float;
+  achieved_rps : float;  (** raw throughput, late completions included *)
+  goodput_rps : float;  (** completions that beat their deadline *)
   utilization : float;
   measured : int;
   saturated : bool;
+  shed_rate : float;  (** sheds / attempts *)
+  timeout_rate : float;  (** timeouts / attempts *)
+  amplification : float;  (** attempts / requests; 1.0 = no retries *)
+  failed : int;  (** originals that exhausted every retry *)
 }
 
 val schema_version : int
@@ -32,12 +38,24 @@ val schema_version : int
 
 val point_of_outcome : Sim.outcome -> point
 
-val run : Sim.config -> service:float array -> rates:float list -> point list
+val run :
+  ?policy:Policy.t ->
+  Sim.config ->
+  service:float array ->
+  rates:float list ->
+  point list
 (** One {!Sim.run} per rate ([Sim.config.rate] is overridden), in order. *)
 
 val max_sustainable : point list -> float option
 (** Highest offered rate the system kept up with ([saturated = false]);
     [None] if every point saturated. *)
+
+val collapsed : point -> bool
+(** Goodput below half the offered rate: the metastable-overload knee. *)
+
+val collapse_rate : point list -> float option
+(** Lowest offered rate at which the sweep {!collapsed} — the onset of
+    retry-storm collapse; [None] if goodput kept up everywhere. *)
 
 val points_to_string : point list -> string
 

@@ -17,7 +17,16 @@
    [stats]/gc output legible as payload types grow — and does not
    participate in the digest: the canonical key already identifies the
    payload.  Validation failure is always a miss, never an error — the
-   caller recomputes and overwrites, so the store self-heals. *)
+   caller recomputes and overwrites, so the store self-heals.
+
+   I/O faults (real or injected via [Mm_fault.Fault]) are absorbed by a
+   bounded retry-with-backoff; a read that stays broken is a miss, a
+   write that stays broken raises (callers doing write-behind treat that
+   as best-effort).  Torn-write injection publishes a deliberately
+   truncated entry — exercising the same read-as-miss self-healing a
+   pre-fsync crash would have needed. *)
+
+module Fault = Mm_fault.Fault
 
 let store_schema_version = 2
 
@@ -25,9 +34,26 @@ let default_kind = "measurement"
 
 let entry_suffix = ".meas"
 
+let lock_file_name = ".lock"
+
+(* Bounded retry for transient (and injected) I/O faults: 4 attempts,
+   0.5 ms / 1 ms / 2 ms between them.  The happy path never sleeps. *)
+let max_attempts = 4
+
+let backoff_seconds attempt = 0.0005 *. (2.0 ** float_of_int attempt)
+
+type health = {
+  read_retries : int;
+  read_failures : int;
+  write_retries : int;
+  write_failures : int;
+}
+
 type t = {
   dir : string;
   fingerprint : string;
+  h_mutex : Mutex.t;
+  mutable h : health;
 }
 
 let default_dir () =
@@ -37,11 +63,27 @@ let default_dir () =
 
 let open_ ?dir ~fingerprint () =
   let dir = match dir with Some d -> d | None -> default_dir () in
-  { dir; fingerprint }
+  {
+    dir;
+    fingerprint;
+    h_mutex = Mutex.create ();
+    h = { read_retries = 0; read_failures = 0; write_retries = 0; write_failures = 0 };
+  }
 
 let dir t = t.dir
 
 let fingerprint t = t.fingerprint
+
+let health t =
+  Mutex.lock t.h_mutex;
+  let h = t.h in
+  Mutex.unlock t.h_mutex;
+  h
+
+let bump t f =
+  Mutex.lock t.h_mutex;
+  t.h <- f t.h;
+  Mutex.unlock t.h_mutex
 
 let digest_hex t ~key =
   Digest.to_hex (Digest.string (t.fingerprint ^ "\x00" ^ key))
@@ -55,6 +97,33 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
+
+(* Mutual exclusion between publishers and the maintenance sweeps (gc /
+   clear): an advisory file lock for cross-process exclusion — [mmstudy
+   cache gc] must not race a concurrently-running experiment's writer —
+   plus a module mutex, because POSIX record locks do not exclude other
+   threads of the same process. *)
+let maintenance_mutex = Mutex.create ()
+
+let with_dir_lock ~dir f =
+  mkdir_p dir;
+  Mutex.lock maintenance_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock maintenance_mutex)
+    (fun () ->
+      let path = Filename.concat dir lock_file_name in
+      match Unix.openfile path [ Unix.O_CREAT; Unix.O_RDWR ] 0o644 with
+      | exception Unix.Unix_error _ ->
+        (* Lock file unavailable (e.g. read-only dir): fall back to the
+           in-process mutex alone rather than failing the operation. *)
+        f ()
+      | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            (try Unix.lockf fd Unix.F_LOCK 0
+             with Unix.Unix_error _ -> ());
+            f ()))
 
 exception Invalid
 
@@ -86,33 +155,89 @@ let read_entry ic t ~key =
 
 let find t ~key =
   let path = entry_path t ~key in
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-    let result = try Some (read_entry ic t ~key) with _ -> None in
-    close_in_noerr ic;
-    if result <> None then
-      (* Refresh mtime so [gc ~max_bytes] evicts in LRU order. *)
-      (try Unix.utimes path 0.0 0.0 with _ -> ());
-    result
+  let read_once () =
+    if Fault.fire Fault.Store_read then raise (Fault.Injected Fault.Store_read);
+    match open_in_bin path with
+    | exception Sys_error _ ->
+      (* Entry absent: a plain miss, not a fault — no retry. *)
+      None
+    | ic ->
+      let result = try Some (read_entry ic t ~key) with Invalid | End_of_file -> None in
+      close_in_noerr ic;
+      if result <> None then
+        (* Refresh mtime so [gc ~max_bytes] evicts in LRU order. *)
+        (try Unix.utimes path 0.0 0.0 with _ -> ());
+      result
+  in
+  let rec attempt k =
+    match read_once () with
+    | r -> r
+    | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) ->
+      if k + 1 < max_attempts then begin
+        bump t (fun h -> { h with read_retries = h.read_retries + 1 });
+        Unix.sleepf (backoff_seconds k);
+        attempt (k + 1)
+      end
+      else begin
+        (* Persistently unreadable is a miss: the caller recomputes and
+           the next successful write heals the entry. *)
+        bump t (fun h -> { h with read_failures = h.read_failures + 1 });
+        None
+      end
+  in
+  attempt 0
 
 let store t ?(kind = default_kind) ~key ~data () =
   mkdir_p t.dir;
-  let tmp = Filename.temp_file ~temp_dir:t.dir "tmp-" ".part" in
-  let oc = open_out_bin tmp in
-  (try
-     Printf.fprintf oc
-       "mmstudy-store %d\nfingerprint %s\nkey %s\nkind %s\nmd5 %s\nbytes %d\n"
-       store_schema_version t.fingerprint key kind
-       (Digest.to_hex (Digest.string data))
-       (String.length data);
-     output_string oc data;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp (entry_path t ~key)
+  let image =
+    Printf.sprintf "mmstudy-store %d\nfingerprint %s\nkey %s\nkind %s\nmd5 %s\nbytes %d\n%s"
+      store_schema_version t.fingerprint key kind
+      (Digest.to_hex (Digest.string data))
+      (String.length data) data
+  in
+  let write_once () =
+    if Fault.fire Fault.Store_write then
+      raise (Fault.Injected Fault.Store_write);
+    (* A torn write publishes a truncated image — the acknowledged-but-
+       partial outcome fsync+rename prevents for real crashes.  Readers
+       must treat every prefix as a miss; the next write self-heals. *)
+    let payload =
+      if Fault.fire Fault.Store_torn then
+        String.sub image 0
+          (int_of_float (Fault.fraction Fault.Store_torn
+                         *. float_of_int (String.length image)))
+      else image
+    in
+    let tmp = Filename.temp_file ~temp_dir:t.dir "tmp-" ".part" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc payload;
+       flush oc;
+       (* Durability before visibility: the rename must never publish a
+          file whose contents could still be lost or torn by a crash. *)
+       Unix.fsync (Unix.descr_of_out_channel oc);
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    with_dir_lock ~dir:t.dir (fun () -> Sys.rename tmp (entry_path t ~key))
+  in
+  let rec attempt k =
+    match write_once () with
+    | () -> ()
+    | exception ((Fault.Injected _ | Sys_error _ | Unix.Unix_error _) as e) ->
+      if k + 1 < max_attempts then begin
+        bump t (fun h -> { h with write_retries = h.write_retries + 1 });
+        Unix.sleepf (backoff_seconds k);
+        attempt (k + 1)
+      end
+      else begin
+        bump t (fun h -> { h with write_failures = h.write_failures + 1 });
+        raise e
+      end
+  in
+  attempt 0
 
 (* --- maintenance ----------------------------------------------------- *)
 
@@ -176,45 +301,55 @@ let stats ~dir =
   { entries = List.length files; bytes; by_kind }
 
 let clear ~dir =
-  let entries = entry_files ~dir in
-  let removed =
-    List.fold_left
-      (fun acc f -> match Sys.remove f with () -> acc + 1 | exception _ -> acc)
-      0 entries
-  in
-  (* Stray temp files from interrupted writes are garbage too. *)
-  (match Sys.readdir dir with
-  | exception Sys_error _ -> ()
-  | files ->
-    Array.iter
-      (fun f ->
-        if Filename.check_suffix f ".part" then
-          try Sys.remove (Filename.concat dir f) with _ -> ())
-      files);
-  removed
+  if not (Sys.file_exists dir) then 0
+  else
+    with_dir_lock ~dir (fun () ->
+        let entries = entry_files ~dir in
+        let removed =
+          List.fold_left
+            (fun acc f ->
+              match Sys.remove f with () -> acc + 1 | exception _ -> acc)
+            0 entries
+        in
+        (* Stray temp files from interrupted writes are garbage too. *)
+        (match Sys.readdir dir with
+        | exception Sys_error _ -> ()
+        | files ->
+          Array.iter
+            (fun f ->
+              if Filename.check_suffix f ".part" then
+                try Sys.remove (Filename.concat dir f) with _ -> ())
+            files);
+        removed)
 
 let gc ~dir ~max_bytes =
-  let entries =
-    List.filter_map
-      (fun path ->
-        match Unix.stat path with
-        | exception _ -> None
-        | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size))
-      (entry_files ~dir)
-  in
-  let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
-  let oldest_first =
-    List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) entries
-  in
-  let removed = ref 0 in
-  let remaining = ref total in
-  List.iter
-    (fun (path, _, sz) ->
-      if !remaining > max_bytes then (
-        match Sys.remove path with
-        | () ->
-          incr removed;
-          remaining := !remaining - sz
-        | exception _ -> ()))
-    oldest_first;
-  !removed
+  if not (Sys.file_exists dir) then 0
+  else
+    (* The lock covers the whole scan-and-delete: a writer publishing
+       mid-sweep cannot race the deleter (and vice versa), so gc never
+       unlinks an entry out from under a rename. *)
+    with_dir_lock ~dir (fun () ->
+        let entries =
+          List.filter_map
+            (fun path ->
+              match Unix.stat path with
+              | exception _ -> None
+              | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size))
+            (entry_files ~dir)
+        in
+        let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
+        let oldest_first =
+          List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) entries
+        in
+        let removed = ref 0 in
+        let remaining = ref total in
+        List.iter
+          (fun (path, _, sz) ->
+            if !remaining > max_bytes then (
+              match Sys.remove path with
+              | () ->
+                incr removed;
+                remaining := !remaining - sz
+              | exception _ -> ()))
+          oldest_first;
+        !removed)

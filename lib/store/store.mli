@@ -14,13 +14,27 @@
     out of this library keeps it dependency-free and reusable.
 
     {b Crash safety and concurrency.}  Writes go to a unique temp file in
-    the store directory and are published with an atomic [rename], so
-    readers never observe a partial entry and concurrent writers of the
-    same digest (which, by content-addressing, carry identical payloads)
-    race benignly — last rename wins.  Reads validate a self-describing
+    the store directory, are flushed and [fsync]ed, then published with
+    an atomic [rename] — durability before visibility, so a crash can
+    never publish a torn entry — and concurrent writers of the same
+    digest (which, by content-addressing, carry identical payloads) race
+    benignly — last rename wins.  Publication and the maintenance sweeps
+    ({!gc}/{!clear}) mutually exclude through an advisory lock file
+    ([.lock] in the store directory) plus an in-process mutex, so the
+    deleter cannot race a rename.  Reads validate a self-describing
     header (store schema, fingerprint, full key, payload byte count and
     MD5); any mismatch, truncation, or corruption reads as a miss, never
     an error.
+
+    {b Fault tolerance.}  Transient I/O errors — real ones, or those
+    injected by [Mm_fault.Fault] ([MM_FAULT_SEED]) — are absorbed by a
+    bounded retry with exponential backoff (4 attempts, sub-millisecond
+    waits).  A read that stays broken is a miss (the caller recomputes
+    and the next write heals the entry on disk); a write that stays
+    broken raises.  Injected torn writes publish truncated entries on
+    purpose, exercising the read-as-miss self-healing path.  {!health}
+    reports the retry/failure tallies so callers can detect a
+    persistently unavailable store and degrade.
 
     {b Invalidation.}  The fingerprint participates in the digest, so
     bumping [Version.sim_fingerprint] orphans every existing entry
@@ -48,6 +62,19 @@ val digest_hex : t -> key:string -> string
 val entry_path : t -> key:string -> string
 (** Absolute-or-relative path of the entry file for [key] (which may or
     may not exist).  Exposed for tests and debugging. *)
+
+type health = {
+  read_retries : int;  (** reads retried after a transient fault *)
+  read_failures : int;  (** reads abandoned (served as misses) *)
+  write_retries : int;  (** writes retried after a transient fault *)
+  write_failures : int;  (** writes abandoned (exception raised) *)
+}
+
+val health : t -> health
+(** Snapshot of this handle's fault tallies since {!open_}.  All zero on
+    a healthy store; a growing failure count signals the store is
+    persistently unavailable and the caller should degrade to in-memory
+    operation. *)
 
 val find : t -> key:string -> string option
 (** The stored payload for [key], or [None] on miss {e or} on any
@@ -92,4 +119,6 @@ val clear : dir:string -> int
 
 val gc : dir:string -> max_bytes:int -> int
 (** Delete least-recently-used entries until the store fits in
-    [max_bytes]; returns the number removed. *)
+    [max_bytes]; returns the number removed.  Holds the store lock for
+    the whole scan-and-delete, so a concurrent writer cannot race the
+    deleter. *)

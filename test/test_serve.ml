@@ -228,9 +228,14 @@ let gen_point =
     let* p999 = pos in
     let* lat_max = pos in
     let* achieved_rps = pos in
+    let* goodput_rps = pos in
     let* utilization = float_range 0.0 1.0 in
     let* measured = int_range 0 1_000_000 in
     let* saturated = bool in
+    let* shed_rate = float_range 0.0 1.0 in
+    let* timeout_rate = float_range 0.0 1.0 in
+    let* amplification = float_range 1.0 100.0 in
+    let* failed = int_range 0 1_000_000 in
     return
       {
         Sweep.rate;
@@ -240,9 +245,14 @@ let gen_point =
         p999;
         lat_max;
         achieved_rps;
+        goodput_rps;
         utilization;
         measured;
         saturated;
+        shed_rate;
+        timeout_rate;
+        amplification;
+        failed;
       })
 
 let prop_sweep_codec_roundtrip =
@@ -276,9 +286,14 @@ let test_sweep_codec_rejects_garbage () =
                p999 = 1.0;
                lat_max = 1.0;
                achieved_rps = 1.0;
+               goodput_rps = 1.0;
                utilization = 0.5;
                measured = 10;
                saturated = false;
+               shed_rate = 0.0;
+               timeout_rate = 0.0;
+               amplification = 1.0;
+               failed = 0;
              };
            ]
        in
@@ -295,9 +310,14 @@ let test_sweep_max_sustainable () =
       p999 = 0.0;
       lat_max = 0.0;
       achieved_rps = rate;
+      goodput_rps = rate;
       utilization = 0.5;
       measured = 1;
       saturated;
+      shed_rate = 0.0;
+      timeout_rate = 0.0;
+      amplification = 1.0;
+      failed = 0;
     }
   in
   Alcotest.(check (option (float 1e-9)))
@@ -307,6 +327,158 @@ let test_sweep_max_sustainable () =
     "all saturated" None
     (Sweep.max_sustainable [ mk 50.0 true; mk 100.0 true ]);
   Alcotest.(check (option (float 1e-9))) "empty" None (Sweep.max_sustainable [])
+
+(* --- Policy --- *)
+
+module Policy = Mm_serve.Policy
+
+let test_policy_none_is_degenerate () =
+  (* Explicit Policy.none equals the default: same histogram, and every
+     resilience counter sits at its vacuous value. *)
+  let c = cfg ~requests:1500 () in
+  let service = flat_service 1 0.01 in
+  let a = Sim.run c ~service in
+  let b = Sim.run ~policy:Policy.none c ~service in
+  Alcotest.(check bool) "same points" true
+    (Sweep.point_of_outcome a = Sweep.point_of_outcome b);
+  Alcotest.(check int) "attempts = requests" c.Sim.requests b.Sim.attempts;
+  Alcotest.(check int) "ok = completions" b.Sim.completions b.Sim.ok;
+  Alcotest.(check int) "no timeouts" 0 b.Sim.timeouts;
+  Alcotest.(check int) "no sheds" 0 b.Sim.sheds;
+  Alcotest.(check int) "no give-ups" 0 b.Sim.give_ups;
+  Alcotest.(check (float 1e-12)) "amplification 1" 1.0
+    b.Sim.retry_amplification
+
+let test_policy_validate () =
+  let raises p =
+    match Policy.validate p with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "none valid" false (raises Policy.none);
+  Alcotest.(check bool) "negative deadline" true
+    (raises { Policy.none with Policy.deadline = Some (-1.0) });
+  Alcotest.(check bool) "negative retries" true
+    (raises { Policy.none with Policy.max_retries = -1 });
+  Alcotest.(check bool) "jitter > 1" true
+    (raises { Policy.none with Policy.jitter = 1.5 });
+  Alcotest.(check bool) "cap below base" true
+    (raises { Policy.none with Policy.backoff_cap = 1e-9 });
+  Alcotest.(check bool) "queue limit 0" true
+    (raises { Policy.none with Policy.admission = Policy.Queue_limit 0 })
+
+let test_admission_names_roundtrip () =
+  List.iter
+    (fun adm ->
+      Alcotest.(check bool)
+        (Policy.admission_name adm)
+        true
+        (Policy.admission_of_name (Policy.admission_name adm) = Ok adm))
+    [ Policy.Always; Policy.Queue_limit 1; Policy.Queue_limit 64;
+      Policy.Deadline_aware ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true
+        (Result.is_error (Policy.admission_of_name s)))
+    [ "sometimes"; "queue:"; "queue:0"; "queue:-3"; "queue:x"; "" ]
+
+(* One slow core at twice its capacity: a tight deadline must produce
+   timeouts, and with no retries every timeout is a lost original. *)
+let overload_cfg = cfg ~rate:200.0 ~requests:1500 ()
+
+let overload_service = flat_service 1 0.01
+
+let test_timeouts_and_give_ups () =
+  let policy = Policy.make ~deadline:0.05 () in
+  let o = Sim.run ~policy overload_cfg ~service:overload_service in
+  Alcotest.(check bool) "timeouts happened" true (o.Sim.timeouts > 0);
+  Alcotest.(check bool) "give-ups happened" true (o.Sim.give_ups > 0);
+  Alcotest.(check int) "every original accounted" overload_cfg.Sim.requests
+    (o.Sim.ok + o.Sim.give_ups);
+  Alcotest.(check bool) "goodput below raw throughput" true
+    (o.Sim.goodput_rps < o.Sim.achieved_rps);
+  Alcotest.(check (float 1e-12)) "no retries: amplification 1" 1.0
+    o.Sim.retry_amplification
+
+let test_retries_amplify () =
+  let no_retry = Policy.make ~deadline:0.05 () in
+  let retry = Policy.make ~deadline:0.05 ~max_retries:3 () in
+  let a = Sim.run ~policy:no_retry overload_cfg ~service:overload_service in
+  let b = Sim.run ~policy:retry overload_cfg ~service:overload_service in
+  Alcotest.(check bool) "retries add attempts" true
+    (b.Sim.attempts > overload_cfg.Sim.requests);
+  Alcotest.(check bool) "amplification > 1" true
+    (b.Sim.retry_amplification > 1.0);
+  Alcotest.(check bool) "retry storm lowers goodput" true
+    (b.Sim.goodput_rps < a.Sim.goodput_rps *. 1.05);
+  Alcotest.(check int) "every original accounted" overload_cfg.Sim.requests
+    (b.Sim.ok + b.Sim.give_ups)
+
+let test_queue_limit_sheds_and_bounds () =
+  let policy =
+    Policy.make ~deadline:0.05 ~max_retries:1
+      ~admission:(Policy.Queue_limit 2) ()
+  in
+  let o = Sim.run ~policy overload_cfg ~service:overload_service in
+  Alcotest.(check bool) "sheds happened" true (o.Sim.sheds > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "outstanding bounded by limit (got %d)"
+       o.Sim.max_outstanding)
+    true
+    (o.Sim.max_outstanding <= 2);
+  Alcotest.(check int) "every original accounted" overload_cfg.Sim.requests
+    (o.Sim.ok + o.Sim.give_ups)
+
+let test_deadline_admission_sheds_doomed_work () =
+  let tight d adm =
+    Sim.run
+      ~policy:(Policy.make ~deadline:d ~admission:adm ())
+      overload_cfg ~service:overload_service
+  in
+  let shed = tight 0.05 Policy.Deadline_aware in
+  let blind = tight 0.05 Policy.Always in
+  Alcotest.(check bool) "deadline admission sheds" true (shed.Sim.sheds > 0);
+  (* Shedding doomed arrivals cannot reduce timely completions. *)
+  Alcotest.(check bool) "goodput no worse than admit-all" true
+    (shed.Sim.goodput_rps >= blind.Sim.goodput_rps *. 0.95)
+
+let test_policy_deterministic () =
+  let policy = Policy.make ~deadline:0.05 ~max_retries:3 ~jitter:0.5 () in
+  let run () =
+    Sweep.point_of_outcome
+      (Sim.run ~policy overload_cfg ~service:overload_service)
+  in
+  Alcotest.(check bool) "identical points" true (run () = run ())
+
+let test_collapse_helpers () =
+  let mk rate goodput =
+    {
+      Sweep.rate;
+      p50 = 0.0;
+      p90 = 0.0;
+      p99 = 0.0;
+      p999 = 0.0;
+      lat_max = 0.0;
+      achieved_rps = rate;
+      goodput_rps = goodput;
+      utilization = 0.5;
+      measured = 1;
+      saturated = false;
+      shed_rate = 0.0;
+      timeout_rate = 0.0;
+      amplification = 1.0;
+      failed = 0;
+    }
+  in
+  Alcotest.(check bool) "keeping up" false (Sweep.collapsed (mk 100.0 99.0));
+  Alcotest.(check bool) "collapsed" true (Sweep.collapsed (mk 100.0 49.0));
+  Alcotest.(check (option (float 1e-9)))
+    "onset is the lowest collapsed rate" (Some 80.0)
+    (Sweep.collapse_rate [ mk 50.0 49.0; mk 80.0 20.0; mk 100.0 30.0 ]);
+  Alcotest.(check (option (float 1e-9)))
+    "no collapse" None
+    (Sweep.collapse_rate [ mk 50.0 49.0; mk 100.0 90.0 ]);
+  Alcotest.(check (option (float 1e-9))) "empty" None (Sweep.collapse_rate [])
 
 (* --- Contention + end-to-end (engine-backed, small scale) --- *)
 
@@ -397,6 +569,48 @@ let test_sweep_blob_memoized () =
   Alcotest.(check int) "no recompute" computed (Ctx.blob_computed ctx);
   Alcotest.(check bool) "identical points" true (a = b)
 
+let test_region_collapses_first () =
+  (* The resilience experiment's headline, as an assertion: under the
+     shared deadline+retry policy, the region allocator's retry-storm
+     collapse onset sits strictly below default's and DDmalloc's on the
+     shared load grid (8 Xeon cores, MediaWiki read-only). *)
+  let module Res = Mm_experiments.Exp_resilience in
+  let onset kind =
+    Sweep.collapse_rate (Res.sweep ctx ~machine ~kind)
+  in
+  let r = onset Factory.Region in
+  let d = onset Factory.Php_default in
+  let m = onset (Factory.Dd None) in
+  let region_onset =
+    match r with
+    | Some r -> r
+    | None -> Alcotest.fail "region never collapsed inside the grid"
+  in
+  let below label = function
+    | None -> ()
+    | Some other ->
+      Alcotest.(check bool)
+        (Printf.sprintf "region onset %.0f < %s onset %.0f" region_onset
+           label other)
+        true
+        (region_onset < other -. 1e-9)
+  in
+  below "default" d;
+  below "ddmalloc" m;
+  (* At 1.0x default capacity the region allocator is already deep in
+     retry amplification while default is not. *)
+  let amp_at_cap kind =
+    let points = Res.sweep ctx ~machine ~kind in
+    let i =
+      match List.find_index (fun f -> f = 1.0) Res.fractions with
+      | Some i -> i
+      | None -> Alcotest.fail "1.0 not in the fraction grid"
+    in
+    (List.nth points i).Sweep.amplification
+  in
+  Alcotest.(check bool) "region amplifies at default's capacity" true
+    (amp_at_cap Factory.Region > amp_at_cap Factory.Php_default)
+
 let () =
   Alcotest.run "mm_serve"
     [
@@ -441,6 +655,23 @@ let () =
           Alcotest.test_case "max sustainable" `Quick
             test_sweep_max_sustainable;
         ] );
+      ( "policy",
+        [
+          Alcotest.test_case "none is degenerate" `Quick
+            test_policy_none_is_degenerate;
+          Alcotest.test_case "validate" `Quick test_policy_validate;
+          Alcotest.test_case "admission names roundtrip" `Quick
+            test_admission_names_roundtrip;
+          Alcotest.test_case "timeouts and give-ups" `Quick
+            test_timeouts_and_give_ups;
+          Alcotest.test_case "retries amplify" `Quick test_retries_amplify;
+          Alcotest.test_case "queue limit sheds and bounds" `Quick
+            test_queue_limit_sheds_and_bounds;
+          Alcotest.test_case "deadline admission sheds doomed work" `Quick
+            test_deadline_admission_sheds_doomed_work;
+          Alcotest.test_case "deterministic" `Quick test_policy_deterministic;
+          Alcotest.test_case "collapse helpers" `Quick test_collapse_helpers;
+        ] );
       ( "end-to-end",
         [
           Alcotest.test_case "contention table shape" `Slow
@@ -451,5 +682,7 @@ let () =
             test_region_saturates_first;
           Alcotest.test_case "sweep blob memoized" `Slow
             test_sweep_blob_memoized;
+          Alcotest.test_case "region collapses first" `Slow
+            test_region_collapses_first;
         ] );
     ]

@@ -18,8 +18,47 @@ module Perf = Mm_cachesim.Perf_model
 module Spec = Mm_workload.Spec
 module Access = Mm_memsim.Access
 module Pool = Mm_sched.Pool
+module Fault = Mm_fault.Fault
 
 let temp_dir () = Filename.temp_dir "mmstudy-test-store" ""
+
+(* The whole suite must pass with deterministic fault injection enabled
+   (check.sh runs it under MM_FAULT_SEED).  Value-equality assertions
+   hold regardless — that is the resilience invariant — but exact hit
+   and entry counts assume I/O lands on the first try, so they are
+   guarded by [strict].  Evaluated per call: a test that reconfigures
+   the plan does not perturb its neighbors. *)
+let strict () = not (Fault.enabled ())
+
+let check_int_strict name expect got =
+  if strict () then Alcotest.(check int) name expect got
+
+(* Publish an entry and confirm it landed intact: under injection a
+   store can be torn (published truncated on purpose), which reads back
+   as a miss — rewriting is exactly the heal the production layers
+   perform. *)
+let store_intact ?kind s ~key ~data =
+  let rec go attempts =
+    if attempts = 0 then Alcotest.failf "entry %S never landed intact" key;
+    (try Store.store s ?kind ~key ~data () with _ -> ());
+    if Store.find s ~key <> Some data then go (attempts - 1)
+  in
+  go 8
+
+(* Restore the ambient fault plan (the MM_FAULT_SEED the suite was
+   launched with, or none) after a test that reconfigures it. *)
+let with_fault_plan ?rates ~seed f =
+  Fun.protect
+    ~finally:(fun () ->
+      match Sys.getenv_opt "MM_FAULT_SEED" with
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some env_seed -> Fault.configure ~seed:env_seed ()
+        | None -> Fault.disable ())
+      | None -> Fault.disable ())
+    (fun () ->
+      Fault.configure ?rates ~seed ();
+      f ())
 
 let fp = "test-fingerprint-v1"
 
@@ -39,10 +78,10 @@ let test_store_roundtrip () =
   let dir = temp_dir () in
   let s = Store.open_ ~dir ~fingerprint:fp () in
   Alcotest.(check (option string)) "miss on empty" None (Store.find s ~key:"k");
-  Store.store s ~key:"k" ~data:"payload\nwith lines" ();
+  store_intact s ~key:"k" ~data:"payload\nwith lines";
   Alcotest.(check (option string))
     "hit" (Some "payload\nwith lines") (Store.find s ~key:"k");
-  Store.store s ~key:"k" ~data:"v2" ();
+  store_intact s ~key:"k" ~data:"v2";
   Alcotest.(check (option string))
     "overwrite" (Some "v2") (Store.find s ~key:"k");
   let st = Store.stats ~dir in
@@ -54,7 +93,7 @@ let test_store_distinct_keys_and_fingerprints () =
   let dir = temp_dir () in
   let a = Store.open_ ~dir ~fingerprint:"A" () in
   let b = Store.open_ ~dir ~fingerprint:"B" () in
-  Store.store a ~key:"k" ~data:"from-a" ();
+  store_intact a ~key:"k" ~data:"from-a";
   Alcotest.(check bool) "digests differ across fingerprints" true
     (Store.digest_hex a ~key:"k" <> Store.digest_hex b ~key:"k");
   Alcotest.(check (option string))
@@ -88,14 +127,14 @@ let corrupt_file path f =
 let test_store_rejects_corruption () =
   let dir = temp_dir () in
   let s = Store.open_ ~dir ~fingerprint:fp () in
-  Store.store s ~key:"k" ~data:"0123456789abcdef" ();
+  store_intact s ~key:"k" ~data:"0123456789abcdef";
   let path = Store.entry_path s ~key:"k" in
   (* Truncation. *)
   corrupt_file path (fun d -> String.sub d 0 (String.length d - 5));
   Alcotest.(check (option string)) "truncated is a miss" None
     (Store.find s ~key:"k");
   (* In-place payload flip, length preserved: caught by the payload MD5. *)
-  Store.store s ~key:"k" ~data:"0123456789abcdef" ();
+  store_intact s ~key:"k" ~data:"0123456789abcdef";
   corrupt_file path (fun d ->
       let b = Bytes.of_string d in
       Bytes.set b (Bytes.length b - 1) 'X';
@@ -103,7 +142,7 @@ let test_store_rejects_corruption () =
   Alcotest.(check (option string)) "bit-flipped is a miss" None
     (Store.find s ~key:"k");
   (* Garbage from offset 0. *)
-  Store.store s ~key:"k" ~data:"0123456789abcdef" ();
+  store_intact s ~key:"k" ~data:"0123456789abcdef";
   corrupt_file path (fun _ -> "not a store entry at all");
   Alcotest.(check (option string)) "garbage is a miss" None
     (Store.find s ~key:"k")
@@ -111,12 +150,12 @@ let test_store_rejects_corruption () =
 let test_store_stats_clear_gc () =
   let dir = temp_dir () in
   let s = Store.open_ ~dir ~fingerprint:fp () in
-  Store.store s ~key:"a" ~data:(String.make 100 'a') ();
+  store_intact s ~key:"a" ~data:(String.make 100 'a');
   Unix.sleepf 0.02;
   (* Distinct mtimes so LRU order is deterministic. *)
-  Store.store s ~key:"b" ~data:(String.make 100 'b') ();
+  store_intact s ~key:"b" ~data:(String.make 100 'b');
   Unix.sleepf 0.02;
-  Store.store s ~key:"c" ~data:(String.make 100 'c') ();
+  store_intact s ~key:"c" ~data:(String.make 100 'c');
   let st = Store.stats ~dir in
   Alcotest.(check int) "three entries" 3 st.Store.entries;
   Alcotest.(check bool) "bytes counted" true (st.Store.bytes > 300);
@@ -139,9 +178,9 @@ let test_store_kind_tags () =
   let s = Store.open_ ~dir ~fingerprint:fp () in
   (* Default kind is "measurement"; "serve" entries are tagged but live
      in the same namespace and digest scheme. *)
-  Store.store s ~key:"m1" ~data:"measurement-payload" ();
-  Store.store s ~key:"m2" ~data:"another" ~kind:Store.default_kind ();
-  Store.store s ~key:"s1" ~data:"sweep-payload" ~kind:"serve" ();
+  store_intact s ~key:"m1" ~data:"measurement-payload";
+  store_intact s ~key:"m2" ~data:"another" ~kind:Store.default_kind;
+  store_intact s ~key:"s1" ~data:"sweep-payload" ~kind:"serve";
   Alcotest.(check (option string))
     "serve entry readable" (Some "sweep-payload") (Store.find s ~key:"s1");
   Alcotest.(check (option string))
@@ -163,7 +202,7 @@ let test_store_kind_tags () =
   Alcotest.(check int) "by_kind bytes sum to total" st.Store.bytes bytes_sum;
   (* The kind is diagnostic only: rewriting the same key under a new
      kind re-tags the same address. *)
-  Store.store s ~key:"s1" ~data:"sweep-payload" ~kind:Store.default_kind ();
+  store_intact s ~key:"s1" ~data:"sweep-payload" ~kind:Store.default_kind;
   let st = Store.stats ~dir in
   Alcotest.(check int) "still three entries" 3 st.Store.entries;
   let count kind =
@@ -172,6 +211,152 @@ let test_store_kind_tags () =
     | None -> 0
   in
   Alcotest.(check int) "re-tagged to measurement" 3 (count Store.default_kind)
+
+let test_truncation_at_every_boundary () =
+  (* Crash consistency: a write interrupted at ANY byte boundary must
+     read as a miss — never raise, never serve partial bytes — and the
+     next force must self-heal the entry on disk. *)
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir ~fingerprint:fp () in
+  let data = "line one\nline two\x00binary\xff bytes\nand a tail" in
+  store_intact s ~key:"k" ~data;
+  let path = Store.entry_path s ~key:"k" in
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let n = String.length full in
+  for cut = 0 to n - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    match Store.find s ~key:"k" with
+    | None -> ()
+    | Some d ->
+      if d <> data then
+        Alcotest.failf "prefix of %d/%d bytes served wrong data" cut n
+      else Alcotest.failf "prefix of %d/%d bytes read as a hit" cut n
+    | exception e ->
+      Alcotest.failf "prefix of %d/%d bytes raised %s" cut n
+        (Printexc.to_string e)
+  done;
+  (* Self-heal: the production path is miss -> recompute -> rewrite. *)
+  store_intact s ~key:"k" ~data;
+  Alcotest.(check (option string)) "healed" (Some data) (Store.find s ~key:"k")
+
+let test_measurement_entry_truncation_heals () =
+  (* The same sweep on a real measurement entry, through the Context
+     layer: every prefix is a miss, force recomputes the same bytes and
+     heals the store. *)
+  let dir = temp_dir () in
+  let store = Store.open_ ~dir ~fingerprint:fp () in
+  let cold = mk_ctx ~store () in
+  let m_cold = force_one cold in
+  let key =
+    Ctx.store_key
+      (Ctx.php_key cold ~machine:Machine.xeon ~cores:1
+         ~kind:Factory.Php_default ~spec ())
+  in
+  let path = Store.entry_path store ~key in
+  if not (Sys.file_exists path) then
+    ignore (force_one (mk_ctx ~store ()) : Engine.measurement);
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let n = String.length full in
+  (* Every byte boundary through the raw store; a stride through the
+     expensive Context recompute path. *)
+  for cut = 0 to n - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    match Store.find store ~key with
+    | None -> ()
+    | Some _ -> Alcotest.failf "prefix of %d/%d bytes read as a hit" cut n
+    | exception e ->
+      Alcotest.failf "prefix of %d/%d bytes raised %s" cut n
+        (Printexc.to_string e)
+  done;
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (n / 2));
+  close_out oc;
+  let warm = mk_ctx ~store () in
+  let m = force_one warm in
+  Alcotest.(check bool) "identical bytes after heal" true
+    (Engine.measurement_to_string m = Engine.measurement_to_string m_cold);
+  let reread = mk_ctx ~store () in
+  ignore (force_one reread : Engine.measurement);
+  check_int_strict "healed on disk" 1 (Ctx.disk_hits reread)
+
+let test_store_survives_injection () =
+  (* Aggressive rates: the store's own retry/backoff plus the test-level
+     heal loop must keep every read either faithful or a miss. *)
+  with_fault_plan ~seed:9
+    ~rates:
+      [
+        (Fault.Store_read, 0.3);
+        (Fault.Store_write, 0.3);
+        (Fault.Store_torn, 0.25);
+        (Fault.Worker_crash, 0.0);
+      ]
+    (fun () ->
+      let dir = temp_dir () in
+      let s = Store.open_ ~dir ~fingerprint:fp () in
+      for i = 0 to 49 do
+        let key = Printf.sprintf "k%d" i in
+        let data = Printf.sprintf "payload-%d-%s" i (String.make i 'y') in
+        store_intact s ~key ~data;
+        match Store.find s ~key with
+        | Some d when d = data -> ()
+        | Some _ -> Alcotest.failf "entry %s served wrong bytes" key
+        | None -> ()
+      done;
+      Alcotest.(check bool) "injection actually fired" true
+        (Fault.total_injected () > 0);
+      let h = Store.health s in
+      Alcotest.(check bool) "retries were recorded" true
+        (h.Store.read_retries + h.Store.write_retries > 0))
+
+let test_context_degrades_when_store_unavailable () =
+  (* A store that always fails: the context absorbs a bounded number of
+     errors, then stops touching the store and runs in-memory. *)
+  with_fault_plan ~seed:11
+    ~rates:
+      [
+        (Fault.Store_read, 1.0);
+        (Fault.Store_write, 1.0);
+        (Fault.Store_torn, 0.0);
+        (Fault.Worker_crash, 0.0);
+      ]
+    (fun () ->
+      let dir = temp_dir () in
+      let store = Store.open_ ~dir ~fingerprint:fp () in
+      let ctx = mk_ctx ~store () in
+      Alcotest.(check bool) "healthy at first" false (Ctx.store_degraded ctx);
+      let force_blob i =
+        Ctx.force_blob ctx ~kind:"serve"
+          ~key:(Printf.sprintf "degrade-%d" i)
+          ~valid:(fun _ -> true)
+          ~compute:(fun () -> Printf.sprintf "value-%d" i)
+      in
+      for i = 0 to 5 do
+        Alcotest.(check string)
+          (Printf.sprintf "blob %d correct despite store" i)
+          (Printf.sprintf "value-%d" i)
+          (force_blob i)
+      done;
+      Alcotest.(check bool) "degraded after repeated failures" true
+        (Ctx.store_degraded ctx);
+      let errors = Ctx.store_errors ctx in
+      Alcotest.(check bool) "errors were counted" true (errors > 0);
+      (* Once degraded the store is not touched again: error count is
+         frozen, results still correct. *)
+      Alcotest.(check string) "post-degrade blob correct" "value-99"
+        (Ctx.force_blob ctx ~kind:"serve" ~key:"degrade-99"
+           ~valid:(fun _ -> true)
+           ~compute:(fun () -> "value-99"));
+      Alcotest.(check int) "error count frozen" errors (Ctx.store_errors ctx);
+      Alcotest.(check int) "nothing reached the disk" 0
+        (Store.stats ~dir).Store.entries)
 
 (* --- measurement codec ----------------------------------------------- *)
 
@@ -370,11 +555,11 @@ let test_warm_context_serves_from_disk () =
   let m_cold = force_one cold in
   Alcotest.(check int) "cold simulated" 1 (Ctx.simulated cold);
   Alcotest.(check int) "cold disk hits" 0 (Ctx.disk_hits cold);
-  Alcotest.(check int) "one entry on disk" 1 (Store.stats ~dir).Store.entries;
+  check_int_strict "one entry on disk" 1 (Store.stats ~dir).Store.entries;
   let warm = mk_ctx ~store () in
   let m_warm = force_one warm in
-  Alcotest.(check int) "warm simulated" 0 (Ctx.simulated warm);
-  Alcotest.(check int) "warm disk hits" 1 (Ctx.disk_hits warm);
+  check_int_strict "warm simulated" 0 (Ctx.simulated warm);
+  check_int_strict "warm disk hits" 1 (Ctx.disk_hits warm);
   Alcotest.(check bool) "warm measurement structurally equal" true
     (m_warm = m_cold);
   (* refresh skips reads but still recomputes and rewrites. *)
@@ -403,21 +588,21 @@ let test_corrupt_entry_falls_back_to_simulate () =
   (* The write-behind healed the entry. *)
   let healed = mk_ctx ~store () in
   ignore (force_one healed : Engine.measurement);
-  Alcotest.(check int) "healed entry hits" 1 (Ctx.disk_hits healed)
+  check_int_strict "healed entry hits" 1 (Ctx.disk_hits healed)
 
 let test_fingerprint_flip_invalidates () =
   let dir = temp_dir () in
   let store_a = Store.open_ ~dir ~fingerprint:"sim-A" () in
   let ctx_a = mk_ctx ~store:store_a () in
   ignore (force_one ctx_a : Engine.measurement);
-  Alcotest.(check int) "populated under A" 1 (Store.stats ~dir).Store.entries;
+  check_int_strict "populated under A" 1 (Store.stats ~dir).Store.entries;
   (* Same directory, bumped fingerprint: every entry is unreachable. *)
   let store_b = Store.open_ ~dir ~fingerprint:"sim-B" () in
   let ctx_b = mk_ctx ~store:store_b () in
   ignore (force_one ctx_b : Engine.measurement);
   Alcotest.(check int) "B recomputed" 1 (Ctx.simulated ctx_b);
   Alcotest.(check int) "B had no disk hit" 0 (Ctx.disk_hits ctx_b);
-  Alcotest.(check int) "both versions coexist" 2 (Store.stats ~dir).Store.entries
+  check_int_strict "both versions coexist" 2 (Store.stats ~dir).Store.entries
 
 let test_racing_workers_simulate_once () =
   let dir = temp_dir () in
@@ -437,8 +622,7 @@ let test_racing_workers_simulate_once () =
     Alcotest.(check bool) "both workers share one measurement" true (a == b)
   | _ -> Alcotest.fail "expected two results");
   Alcotest.(check int) "exactly one simulate" 1 (Ctx.simulated ctx);
-  Alcotest.(check int) "exactly one store entry" 1
-    (Store.stats ~dir).Store.entries
+  check_int_strict "exactly one store entry" 1 (Store.stats ~dir).Store.entries
 
 let test_blob_layer () =
   let dir = temp_dir () in
@@ -459,20 +643,22 @@ let test_blob_layer () =
   (* A fresh context finds the write-behind on disk. *)
   let warm = mk_ctx ~store () in
   Alcotest.(check string) "disk hit" "Payload" (force warm);
-  Alcotest.(check int) "no recompute" 1 !computes;
-  Alcotest.(check int) "warm disk hit counted" 1 (Ctx.blob_disk_hits warm);
+  check_int_strict "no recompute" 1 !computes;
+  check_int_strict "warm disk hit counted" 1 (Ctx.blob_disk_hits warm);
   (* A stored payload failing [valid] is a miss: recompute and heal. *)
-  Store.store store ~key:"blob-k" ~data:"corrupt" ~kind:"serve" ();
+  let computes_before = !computes in
+  store_intact store ~key:"blob-k" ~data:"corrupt" ~kind:"serve";
   let healed = mk_ctx ~store () in
   Alcotest.(check string) "invalid payload recomputed" "Payload" (force healed);
-  Alcotest.(check int) "recompute happened" 2 !computes;
+  Alcotest.(check int) "recompute happened" (computes_before + 1) !computes;
   let again = mk_ctx ~store () in
   Alcotest.(check string) "healed on disk" "Payload" (force again);
-  Alcotest.(check int) "healed serves from disk" 2 !computes;
+  check_int_strict "healed serves from disk" (computes_before + 1) !computes;
   (* refresh skips the read but rewrites. *)
+  let computes_before = !computes in
   let refresh = mk_ctx ~store ~refresh:true () in
   Alcotest.(check string) "refresh recomputes" "Payload" (force refresh);
-  Alcotest.(check int) "refresh computed" 3 !computes
+  Alcotest.(check int) "refresh computed" (computes_before + 1) !computes
 
 let test_version_fingerprint_shape () =
   Alcotest.(check bool) "fingerprint mentions every component" true
@@ -500,6 +686,12 @@ let () =
           Alcotest.test_case "stats / clear / gc" `Quick
             test_store_stats_clear_gc;
           Alcotest.test_case "payload kind tags" `Quick test_store_kind_tags;
+          Alcotest.test_case "truncation at every boundary" `Quick
+            test_truncation_at_every_boundary;
+          Alcotest.test_case "measurement entry truncation heals" `Quick
+            test_measurement_entry_truncation_heals;
+          Alcotest.test_case "survives fault injection" `Quick
+            test_store_survives_injection;
         ] );
       ( "codec",
         [
@@ -520,6 +712,8 @@ let () =
           Alcotest.test_case "racing workers simulate once" `Quick
             test_racing_workers_simulate_once;
           Alcotest.test_case "blob layer" `Quick test_blob_layer;
+          Alcotest.test_case "degrades when store unavailable" `Quick
+            test_context_degrades_when_store_unavailable;
           Alcotest.test_case "fingerprint shape" `Quick
             test_version_fingerprint_shape;
         ] );
